@@ -1,0 +1,91 @@
+"""Design-choice ablations (appendix D remarks).
+
+The paper reports that the alternative index design (which cannot use
+PR3) builds 32x slower on AD.  These ablations quantify, at
+reproduction scale: each pruning rule's contribution to build time and
+index size; eager vs lazy kernel-based search; and the IN-OUT vertex
+ordering against degree/random orderings.
+
+pytest-benchmark targets time the main variants on AD.
+
+Full run: ``python benchmarks/bench_ablation_pruning.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_ablation_pruning,
+    experiment_ablation_strategies,
+)
+from repro.core import build_rlc_index
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import dataset, standard_parser
+
+
+@pytest.mark.parametrize(
+    "label,kwargs",
+    [
+        ("all-rules", {}),
+        ("no-pr1", {"use_pr1": False}),
+        ("no-pr3", {"use_pr3": False}),
+        ("no-rules", {"use_pr1": False, "use_pr2": False, "use_pr3": False}),
+    ],
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_pruning_variant_build(benchmark, label, kwargs):
+    graph = dataset("AD", 0.5)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2, **kwargs), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def test_lazy_strategy_build(benchmark):
+    graph = dataset("AD", 0.5)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2, strategy="lazy"), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def test_random_ordering_build(benchmark):
+    graph = dataset("AD", 0.5)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2, ordering="random", seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert index.num_entries > 0
+
+
+def test_no_rules_is_slower_and_bigger():
+    import time
+
+    graph = dataset("AD", 0.5)
+    started = time.perf_counter()
+    pruned = build_rlc_index(graph, 2)
+    pruned_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    unpruned = build_rlc_index(graph, 2, use_pr1=False, use_pr2=False, use_pr3=False)
+    unpruned_seconds = time.perf_counter() - started
+    assert unpruned.num_entries > pruned.num_entries
+    assert unpruned_seconds > pruned_seconds
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    scale = 0.4 if args.quick else args.scale
+    experiment_ablation_pruning(dataset="AD", scale=scale).print()
+    experiment_ablation_strategies(dataset="AD", scale=scale).print()
+
+
+if __name__ == "__main__":
+    main()

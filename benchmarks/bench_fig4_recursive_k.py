@@ -1,0 +1,54 @@
+"""Fig. 4 — impact of the recursive k on real-world graphs (TW, WG).
+
+The paper: indexing time and index size grow with k (the number of
+kernel candidates grows exponentially), index size grows much slower
+than indexing time (long concatenations rarely repeat under Zipf label
+skew), and query time grows mildly.
+
+pytest-benchmark targets time index builds at k = 2, 3, 4 on TW.
+
+Full run: ``python benchmarks/bench_fig4_recursive_k.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig4
+from repro.core import build_rlc_index
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import dataset, standard_parser
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_tw_build_vs_k(benchmark, k):
+    graph = dataset("TW")
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, k), rounds=1, iterations=1
+    )
+    assert index.k == k
+
+
+def test_size_grows_with_k():
+    graph = dataset("TW", 0.5)
+    sizes = [build_rlc_index(graph, k).estimated_size_bytes() for k in (2, 3, 4)]
+    assert sizes[0] <= sizes[1] <= sizes[2]
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    if args.quick:
+        table = experiment_fig4(names=("TW",), ks=(2, 3), scale=0.5, num_queries=100)
+    else:
+        table = experiment_fig4(scale=args.scale, num_queries=args.queries)
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

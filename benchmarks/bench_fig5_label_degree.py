@@ -1,0 +1,84 @@
+"""Fig. 5 — impact of label-set size and average degree (ER and BA).
+
+The paper sweeps d in {2..5} x |L| in {8..36} on 1M-vertex graphs; the
+stand-ins use 2000 vertices by default.  Expected shapes: indexing time
+grows roughly linearly in |L| and in d; index size grows with d and
+(for BA, clearly; for sparse ER, barely) with |L|; query time stays
+sub-millisecond throughout.
+
+pytest-benchmark targets time builds at the sweep corners on ER.
+
+Full run: ``python benchmarks/bench_fig5_label_degree.py`` (the full
+2 x 4 x 8 sweep takes tens of minutes; ``--quick`` runs a 2 x 2 grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig5
+from repro.core import build_rlc_index
+from repro.graph import generators
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import standard_parser
+
+
+@pytest.mark.parametrize("degree,labels", [(2, 8), (2, 36), (5, 8), (5, 36)])
+def test_er_build_sweep_corner(benchmark, degree, labels):
+    graph = generators.labeled_erdos_renyi(1000, degree, labels, seed=7)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def test_ba_build_degree5(benchmark):
+    graph = generators.labeled_barabasi_albert(1000, 5, 16, seed=7)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    if args.quick:
+        table = experiment_fig5(
+            num_vertices=500,
+            degrees=(2, 5),
+            label_sizes=(8, 36),
+            num_queries=50,
+        )
+    else:
+        table = experiment_fig5(
+            num_vertices=int(2000 * args.scale), num_queries=args.queries
+        )
+    table.print()
+
+    from repro.bench.plotting import ascii_plot, series_from_table
+
+    for family in sorted({row["family"] for row in table.rows}):
+        rows = [row for row in table.rows if row["family"] == family]
+        series = series_from_table(
+            rows, x="labels", y="indexing_s", group_by="degree"
+        )
+        series = {f"d={name}": values for name, values in series.items()}
+        print(
+            ascii_plot(
+                series,
+                title=f"Fig. 5: indexing time vs |L| ({family})",
+                x_label="|L|",
+                y_label="indexing seconds",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

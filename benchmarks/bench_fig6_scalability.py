@@ -1,0 +1,84 @@
+"""Fig. 6 — scalability in |V| (d = 5, |L| = 16, ER and BA).
+
+The paper grows |V| from 125K to 2M; the stand-ins sweep 500..8000 by
+default.  Expected shapes: indexing time and size grow superlinearly
+with |V|; BA indexing costs more than ER (complete seed subgraph); ER
+index size grows at a sharper rate than BA's (hub entries prune more
+on skewed graphs); on ER false queries cost more than true queries,
+on BA the reverse.
+
+Full run: ``python benchmarks/bench_fig6_scalability.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig6
+from repro.core import build_rlc_index
+from repro.graph import generators
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import standard_parser
+
+
+@pytest.mark.parametrize("num_vertices", [500, 1000, 2000])
+def test_er_build_scaling(benchmark, num_vertices):
+    graph = generators.labeled_erdos_renyi(num_vertices, 5, 16, seed=7)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+@pytest.mark.parametrize("num_vertices", [500, 1000])
+def test_ba_build_scaling(benchmark, num_vertices):
+    graph = generators.labeled_barabasi_albert(num_vertices, 5, 16, seed=7)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def main() -> None:
+    from repro.bench.plotting import ascii_plot, series_from_table
+
+    args = standard_parser(__doc__).parse_args()
+    if args.quick:
+        table = experiment_fig6(sizes=(500, 1000, 2000), num_queries=50)
+    else:
+        sizes = tuple(int(s * args.scale) for s in (500, 1000, 2000, 4000, 8000))
+        table = experiment_fig6(sizes=sizes, num_queries=args.queries)
+    table.print()
+    print(
+        ascii_plot(
+            series_from_table(
+                table.rows, x="vertices", y="indexing_s", group_by="family"
+            ),
+            title="Fig. 6 (left): indexing time vs |V|",
+            log_y=True,
+            x_label="|V|",
+            y_label="indexing seconds",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            series_from_table(
+                table.rows, x="vertices", y="size_bytes", group_by="family"
+            ),
+            title="Fig. 6 (middle): index size vs |V|",
+            log_y=True,
+            x_label="|V|",
+            y_label="index bytes",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 7 (appendix C) — impact of k on synthetic ER/BA graphs.
+
+The paper: indexing time and index size rise exponentially in k
+(exponentially many kernel candidates must be explored), with query
+time affected mainly through the larger index.
+
+Full run: ``python benchmarks/bench_fig7_k_synthetic.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig7
+from repro.core import build_rlc_index
+from repro.graph import generators
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import standard_parser
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_er_build_vs_k(benchmark, k):
+    graph = generators.labeled_erdos_renyi(800, 5, 16, seed=7)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, k), rounds=1, iterations=1
+    )
+    assert index.k == k
+
+
+def test_exponential_k_growth_shape():
+    graph = generators.labeled_erdos_renyi(400, 5, 16, seed=7)
+    import time
+
+    times = []
+    for k in (2, 3):
+        started = time.perf_counter()
+        build_rlc_index(graph, k)
+        times.append(time.perf_counter() - started)
+    assert times[1] > times[0]
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    if args.quick:
+        table = experiment_fig7(num_vertices=500, ks=(2, 3), num_queries=50)
+    else:
+        table = experiment_fig7(
+            num_vertices=int(1000 * args.scale),
+            ks=(2, 3, 4),
+            num_queries=args.queries,
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core primitives.
+
+Not a paper artifact — these pin the costs that the macro results are
+built from: minimum-repeat computation (the KMP hot path of Algorithm
+2), constraint-automaton construction, single product-BFS steps, index
+point queries (merge join vs hub lookup), and workload verification.
+Regressions here surface before they blur a paper-level table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.compile import constraint_automaton
+from repro.baselines import NfaBfs
+from repro.labels.minimum_repeat import minimum_repeat
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import dataset, dataset_index, dataset_workload
+
+
+def test_minimum_repeat_short(benchmark):
+    benchmark(minimum_repeat, (0, 1, 0, 1))
+
+
+def test_minimum_repeat_long(benchmark):
+    sequence = (0, 1, 2, 3) * 16
+    benchmark(minimum_repeat, sequence)
+
+
+def test_constraint_automaton_build(benchmark):
+    benchmark(constraint_automaton, (0, 1, 2))
+
+
+def test_index_query_merge_join(benchmark):
+    index = dataset_index("EP")
+    workload = dataset_workload("EP", num_queries=50)
+    query = workload.true_queries[0]
+    benchmark(index.query, query.source, query.target, query.labels)
+
+
+def test_index_query_hub_lookup(benchmark):
+    index = dataset_index("EP")
+    workload = dataset_workload("EP", num_queries=50)
+    query = workload.true_queries[0]
+    benchmark(index.query_fast, query.source, query.target, query.labels)
+
+
+def test_index_query_false(benchmark):
+    index = dataset_index("EP")
+    workload = dataset_workload("EP", num_queries=50)
+    query = workload.false_queries[0]
+    benchmark(index.query, query.source, query.target, query.labels)
+
+
+def test_bfs_single_query(benchmark):
+    graph = dataset("EP")
+    engine = NfaBfs(graph)
+    workload = dataset_workload("EP", num_queries=50)
+    query = workload.true_queries[0]
+    benchmark(engine.query, query.source, query.target, query.labels)

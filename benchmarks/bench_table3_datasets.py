@@ -1,0 +1,50 @@
+"""Table III — overview of graphs.
+
+Regenerates the dataset-statistics table (|V|, |E|, |L|, loop count,
+triangle count) for the 13 synthetic stand-ins next to the paper's
+original sizes.  The pytest-benchmark targets time the statistics
+pipeline itself (loop + triangle counting via sparse matrix products).
+
+Full run: ``python benchmarks/bench_table3_datasets.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table3
+from repro.graph.stats import compute_stats
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import dataset, standard_parser
+
+
+def test_stats_pipeline_ad(benchmark):
+    graph = dataset("AD")
+    stats = benchmark(compute_stats, graph)
+    assert stats.num_vertices == graph.num_vertices
+
+
+def test_stats_pipeline_wb(benchmark):
+    graph = dataset("WB")
+    stats = benchmark(compute_stats, graph)
+    assert stats.triangle_count > 0
+
+
+def test_stats_pipeline_heavy_wf(benchmark):
+    graph = dataset("WF", 0.25)
+    stats = benchmark(compute_stats, graph)
+    assert stats.num_edges > 0
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    scale = 0.25 if args.quick else args.scale
+    experiment_table3(scale=scale).print()
+
+
+if __name__ == "__main__":
+    main()

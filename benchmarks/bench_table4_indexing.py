@@ -1,0 +1,82 @@
+"""Table IV — indexing time (IT) and index size (IS), RLC index vs ETC.
+
+The paper's headline offline result: the RLC index builds orders of
+magnitude faster than the extended transitive closure and is orders of
+magnitude smaller; ETC only completes on the smallest graph (AD) within
+its budget.  pytest-benchmark targets time representative index builds;
+the ``__main__`` run regenerates the full 13-row table (about 10
+minutes at scale 1.0 — the heavy five dominate).
+
+Full run: ``python benchmarks/bench_table4_indexing.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExtendedTransitiveClosure
+from repro.bench.experiments import experiment_table4
+from repro.core import build_rlc_index
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import (
+    FAST_DATASETS,
+    HEAVY_BENCH_SCALE,
+    HEAVY_DATASETS,
+    dataset,
+    standard_parser,
+)
+
+
+@pytest.mark.parametrize("name", ["AD", "TW", "WN", "WS"])
+def test_rlc_index_build(benchmark, name):
+    graph = dataset(name)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+@pytest.mark.parametrize("name", ["SO", "WF"])
+def test_rlc_index_build_heavy(benchmark, name):
+    graph = dataset(name, HEAVY_BENCH_SCALE)
+    index = benchmark.pedantic(
+        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+    )
+    assert index.num_entries > 0
+
+
+def test_etc_build_ad(benchmark):
+    graph = dataset("AD", 0.5)
+    etc = benchmark.pedantic(
+        lambda: ExtendedTransitiveClosure.build(graph, 2), rounds=1, iterations=1
+    )
+    assert etc.num_entries > 0
+
+
+def test_rlc_vs_etc_size_shape():
+    """Table IV's size headline must hold: RLC index smaller than ETC."""
+    graph = dataset("AD", 0.5)
+    index = build_rlc_index(graph, 2)
+    etc = ExtendedTransitiveClosure.build(graph, 2)
+    assert index.estimated_size_bytes() < etc.estimated_size_bytes() / 5
+
+
+def main() -> None:
+    args = standard_parser(__doc__).parse_args()
+    if args.quick:
+        table = experiment_table4(
+            names=FAST_DATASETS, scale=0.25, etc_time_budget=10.0
+        )
+    else:
+        table = experiment_table4(scale=args.scale, etc_time_budget=60.0)
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Fraud detection with RLC queries (the paper's motivating Example 1).
+
+The paper motivates RLC queries with money-laundering patterns: the
+query ``Q(A14, A19, (debits, credits)+)`` checks whether money can flow
+from account A14 to account A19 through an arbitrary number of
+debit/credit pairs.
+
+This example:
+
+1. replays Example 1 on the Fig. 1 network;
+2. generates a larger synthetic financial network (accounts,
+   intermediate entities, people) with injected laundering chains;
+3. builds one RLC index and screens every suspicious account pair with
+   ``(debits, credits)+``, comparing cost against online BFS.
+
+Run: ``python examples/fraud_detection.py``
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import GraphBuilder, NfaBfs, build_rlc_index, find_witness_path
+from repro.graph.generators import paper_figure1
+
+
+def replay_example1() -> None:
+    graph = paper_figure1()
+    index = build_rlc_index(graph, k=3)
+    names = [
+        "P10", "P11", "P12", "P13", "P16", "A14", "A17", "E15", "E18", "A19",
+    ]
+    vertex = {name: i for i, name in enumerate(names)}
+
+    q1 = graph.encode_sequence(("debits", "credits"))
+    q2 = graph.encode_sequence(("knows", "knows", "worksFor"))
+    answer1 = index.query(vertex["A14"], vertex["A19"], q1)
+    answer2 = index.query(vertex["P10"], vertex["P13"], q2)
+    print("Example 1 on the Fig. 1 network:")
+    print(f"  Q1(A14, A19, (debits, credits)+)        -> {answer1}  (paper: true)")
+    print(f"  Q2(P10, P13, (knows, knows, worksFor)+) -> {answer2}  (paper: false)")
+    assert answer1 is True and answer2 is False
+
+
+def build_financial_network(
+    num_accounts: int = 400,
+    num_entities: int = 120,
+    num_chains: int = 12,
+    seed: int = 2023,
+):
+    """A synthetic transaction network with hidden laundering chains.
+
+    Accounts transact through intermediate entities (``debits`` into an
+    entity, ``credits`` out of it).  Most flows are benign one-hop
+    transfers; ``num_chains`` long debit/credit chains are injected and
+    returned as ground truth.
+    """
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    accounts = [f"acct{i}" for i in range(num_accounts)]
+    entities = [f"entity{i}" for i in range(num_entities)]
+
+    # Benign background traffic: random debit/credit pairs.
+    for _ in range(num_accounts * 3):
+        a, b = rng.sample(accounts, 2)
+        e = rng.choice(entities)
+        builder.add_edge(a, "debits", e)
+        builder.add_edge(e, "credits", b)
+
+    # People holding accounts (irrelevant noise for the query).
+    for i, account in enumerate(accounts):
+        builder.add_edge(f"person{i % 97}", "holds", account)
+
+    # Injected laundering chains: acct -> e -> acct -> e -> ... -> acct.
+    injected = []
+    for c in range(num_chains):
+        hops = rng.randint(3, 6)
+        chain_accounts = rng.sample(accounts, hops + 1)
+        for i in range(hops):
+            mule = f"mule{c}_{i}"
+            builder.add_edge(chain_accounts[i], "debits", mule)
+            builder.add_edge(mule, "credits", chain_accounts[i + 1])
+        injected.append((chain_accounts[0], chain_accounts[-1]))
+    return builder, injected
+
+
+def screen_network() -> None:
+    builder, injected = build_financial_network()
+    graph = builder.build()
+    print(f"\nsynthetic financial network: {graph}")
+
+    started = time.perf_counter()
+    index = build_rlc_index(graph, k=2)
+    build_seconds = time.perf_counter() - started
+    print(
+        f"RLC index: {index.num_entries} entries in {build_seconds:.2f}s "
+        f"({index.estimated_size_bytes() / 1024:.0f} KB)"
+    )
+
+    constraint = graph.encode_sequence(("debits", "credits"))
+    pairs = [
+        (builder.vertex_id(src), builder.vertex_id(dst)) for src, dst in injected
+    ]
+    # Screen the injected pairs plus random control pairs.
+    rng = random.Random(7)
+    controls = [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for _ in range(2000)
+    ]
+
+    started = time.perf_counter()
+    flagged = [
+        pair for pair in pairs + controls if index.query(*pair, constraint)
+    ]
+    index_seconds = time.perf_counter() - started
+
+    online = NfaBfs(graph)
+    started = time.perf_counter()
+    flagged_online = [
+        pair for pair in pairs + controls if online.query(*pair, constraint)
+    ]
+    online_seconds = time.perf_counter() - started
+
+    assert flagged == flagged_online
+    assert all(pair in flagged for pair in pairs), "an injected chain was missed"
+    print(
+        f"screened {len(pairs) + len(controls)} account pairs: "
+        f"{len(flagged)} flagged (all {len(pairs)} injected chains found)"
+    )
+    print(
+        f"index screening {index_seconds * 1e3:.1f} ms vs online BFS "
+        f"{online_seconds * 1e3:.1f} ms "
+        f"({online_seconds / index_seconds:.0f}x speed-up; index pays off "
+        f"after ~{int(build_seconds / max(online_seconds - index_seconds, 1e-9) * (len(pairs) + len(controls))) + 1} screenings)"
+    )
+
+    # For the flagged pairs an investigator needs the concrete chain:
+    # reconstruct one shortest witnessing path per injected pair.
+    names = builder.vertex_names
+    source, target = pairs[0]
+    vertices, _ = find_witness_path(graph, source, target, constraint)
+    chain = " -> ".join(names[v] for v in vertices)
+    print(f"example money trail for the first flagged pair:\n  {chain}")
+
+
+if __name__ == "__main__":
+    replay_example1()
+    screen_network()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on offline environments whose
+setuptools lacks PEP 660 support (no ``wheel`` package available); all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

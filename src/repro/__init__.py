@@ -1,0 +1,92 @@
+"""repro — a reproduction of the RLC index (ICDE 2023).
+
+"A Reachability Index for Recursive Label-Concatenated Graph Queries"
+(Zhang, Bonifati, Kapp, Haprian, Lozi): RLC queries ``(s, t, L+)`` ask
+whether a path from ``s`` to ``t`` carries a label sequence that is a
+power of the primitive sequence ``L`` (``|L| <= k``), and the RLC index
+answers them with a 2-hop-style labeling built by kernel-based search.
+
+Quickstart::
+
+    from repro import GraphBuilder, build_rlc_index
+
+    b = GraphBuilder()
+    b.add_edge("a14", "debits", "e15")
+    b.add_edge("e15", "credits", "a17")
+    b.add_edge("a17", "debits", "e18")
+    b.add_edge("e18", "credits", "a19")
+    graph = b.build()
+
+    index = build_rlc_index(graph, k=2)
+    constraint = graph.encode_sequence(("debits", "credits"))
+    assert index.query(b.vertex_id("a14"), b.vertex_id("a19"), constraint)
+
+See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    BudgetExceededError,
+    CapabilityError,
+    GraphError,
+    NonPrimitiveConstraintError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+from repro.graph import EdgeLabeledDigraph, GraphBuilder, compute_stats
+from repro.labels import (
+    LabelDictionary,
+    is_primitive,
+    kernel_decomposition,
+    minimum_repeat,
+)
+from repro.queries import RlcQuery, validate_rlc_query
+from repro.automata import Nfa, compile_regex, constraint_automaton, parse_regex
+from repro.baselines import ExtendedTransitiveClosure, NfaBfs, NfaBiBfs, NfaDfs
+from repro.core import (
+    BuildStats,
+    DynamicRlcIndex,
+    ExtendedQueryEvaluator,
+    RlcIndex,
+    RlcIndexBuilder,
+    build_rlc_index,
+    find_witness_path,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExceededError",
+    "BuildStats",
+    "CapabilityError",
+    "DynamicRlcIndex",
+    "EdgeLabeledDigraph",
+    "find_witness_path",
+    "ExtendedQueryEvaluator",
+    "ExtendedTransitiveClosure",
+    "GraphBuilder",
+    "GraphError",
+    "LabelDictionary",
+    "Nfa",
+    "NfaBfs",
+    "NfaBiBfs",
+    "NfaDfs",
+    "NonPrimitiveConstraintError",
+    "QueryError",
+    "ReproError",
+    "RlcIndex",
+    "RlcIndexBuilder",
+    "RlcQuery",
+    "SerializationError",
+    "build_rlc_index",
+    "compile_regex",
+    "compute_stats",
+    "constraint_automaton",
+    "is_primitive",
+    "kernel_decomposition",
+    "minimum_repeat",
+    "parse_regex",
+    "validate_rlc_query",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Regular expressions over edge labels and their automata.
+
+RLC queries are a fragment of regular path queries; the paper's
+baselines evaluate them with "online graph traversals, e.g., BFS,
+guided by a minimized NFA constructed according to the regular
+expression" (Section III-B).  This subpackage supplies that machinery:
+
+- :mod:`repro.automata.regex` — a small AST (label atoms, concatenation,
+  alternation, Kleene plus/star) with a parser for the paper's textual
+  notation, e.g. ``"(debits credits)+"`` or ``"a+ b+"``;
+- :class:`Nfa` — an epsilon-free NFA with forward/backward stepping;
+- :func:`compile_regex` — Thompson construction + epsilon elimination;
+- :func:`constraint_automaton` — the specialized cyclic automaton for an
+  RLC constraint ``L+`` (what the BFS/BiBFS baselines use).
+"""
+
+from repro.automata.nfa import Nfa
+from repro.automata.regex import (
+    Alternation,
+    Concat,
+    Label,
+    Plus,
+    Regex,
+    Star,
+    parse_regex,
+    rlc_expression,
+)
+from repro.automata.compile import compile_regex, constraint_automaton
+
+__all__ = [
+    "Alternation",
+    "Concat",
+    "Label",
+    "Nfa",
+    "Plus",
+    "Regex",
+    "Star",
+    "compile_regex",
+    "constraint_automaton",
+    "parse_regex",
+    "rlc_expression",
+]

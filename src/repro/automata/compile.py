@@ -1,0 +1,184 @@
+"""Compile regex ASTs to epsilon-free NFAs.
+
+Two constructions are provided:
+
+- :func:`compile_regex` — classic Thompson construction followed by
+  epsilon elimination and unreachable-state removal.  Handles the full
+  AST (used for extended queries such as ``a+ b+``, Table V's Q4).
+- :func:`constraint_automaton` — the direct cyclic automaton for an RLC
+  constraint ``L+``: ``|L| + 1`` states, deterministic, with the copy
+  boundary as the single accepting state.  This is what the BFS/BiBFS
+  baselines build per query (it is the minimized NFA of ``L+`` when
+  ``L`` is primitive).
+
+Labels in the produced automata must be integers (graph label ids); use
+``graph.encode_sequence`` / a :class:`~repro.labels.LabelDictionary` to
+translate names first, or pass a ``label_encoder`` to
+:func:`compile_regex`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import Nfa
+from repro.automata.regex import Alternation, Concat, Label, Plus, Regex, Star
+from repro.errors import QueryError
+
+__all__ = ["compile_regex", "constraint_automaton"]
+
+
+class _ThompsonBuilder:
+    """Accumulates states with labeled and epsilon transitions."""
+
+    def __init__(self, label_encoder: Optional[Callable[[object], int]]) -> None:
+        self.labeled: List[Dict[int, List[int]]] = []
+        self.epsilon: List[List[int]] = []
+        self._encode = label_encoder
+
+    def new_state(self) -> int:
+        self.labeled.append({})
+        self.epsilon.append([])
+        return len(self.labeled) - 1
+
+    def add_label_edge(self, source: int, atom: object, target: int) -> None:
+        if self._encode is not None:
+            label = self._encode(atom)
+        elif isinstance(atom, int):
+            label = atom
+        else:
+            raise QueryError(
+                f"regex label {atom!r} is not an integer id; provide a label_encoder"
+            )
+        self.labeled[source].setdefault(label, []).append(target)
+
+    def add_epsilon_edge(self, source: int, target: int) -> None:
+        self.epsilon[source].append(target)
+
+    def build_fragment(self, node: Regex) -> Tuple[int, int]:
+        """Return (entry, exit) states of the fragment for ``node``."""
+        if isinstance(node, Label):
+            entry, exit_ = self.new_state(), self.new_state()
+            self.add_label_edge(entry, node.atom, exit_)
+            return entry, exit_
+        if isinstance(node, Concat):
+            entry, exit_ = self.build_fragment(node.parts[0])
+            for part in node.parts[1:]:
+                part_entry, part_exit = self.build_fragment(part)
+                self.add_epsilon_edge(exit_, part_entry)
+                exit_ = part_exit
+            return entry, exit_
+        if isinstance(node, Alternation):
+            entry, exit_ = self.new_state(), self.new_state()
+            for option in node.options:
+                option_entry, option_exit = self.build_fragment(option)
+                self.add_epsilon_edge(entry, option_entry)
+                self.add_epsilon_edge(option_exit, exit_)
+            return entry, exit_
+        if isinstance(node, Plus):
+            inner_entry, inner_exit = self.build_fragment(node.inner)
+            entry, exit_ = self.new_state(), self.new_state()
+            self.add_epsilon_edge(entry, inner_entry)
+            self.add_epsilon_edge(inner_exit, exit_)
+            self.add_epsilon_edge(inner_exit, inner_entry)
+            return entry, exit_
+        if isinstance(node, Star):
+            inner_entry, inner_exit = self.build_fragment(node.inner)
+            entry, exit_ = self.new_state(), self.new_state()
+            self.add_epsilon_edge(entry, inner_entry)
+            self.add_epsilon_edge(inner_exit, exit_)
+            self.add_epsilon_edge(inner_exit, inner_entry)
+            self.add_epsilon_edge(entry, exit_)
+            return entry, exit_
+        raise QueryError(f"unknown regex node: {type(node).__name__}")
+
+    def epsilon_closure(self, state: int) -> Set[int]:
+        closure = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for nxt in self.epsilon[current]:
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return closure
+
+
+def compile_regex(
+    node: Regex, *, label_encoder: Optional[Callable[[object], int]] = None
+) -> Nfa:
+    """Thompson-compile ``node`` into an epsilon-free :class:`Nfa`.
+
+    ``label_encoder`` maps AST label atoms (e.g. strings) to integer
+    label ids; omit it when the AST already uses integers.
+    """
+    builder = _ThompsonBuilder(label_encoder)
+    start, accept = builder.build_fragment(node)
+
+    closures = [builder.epsilon_closure(s) for s in range(len(builder.labeled))]
+    num_states = len(builder.labeled)
+
+    # delta'(s, a) = union of delta(t, a) for t in closure(s)
+    eliminated: List[Dict[int, Tuple[int, ...]]] = []
+    accepts: Set[int] = set()
+    for state in range(num_states):
+        merged: Dict[int, Set[int]] = {}
+        for member in closures[state]:
+            for label, targets in builder.labeled[member].items():
+                merged.setdefault(label, set()).update(targets)
+        eliminated.append({label: tuple(sorted(ts)) for label, ts in merged.items()})
+        if accept in closures[state]:
+            accepts.add(state)
+
+    # Keep only states reachable from the start (epsilon-free walk).
+    reachable = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for targets in eliminated[current].values():
+            for target in targets:
+                if target not in reachable:
+                    reachable.add(target)
+                    stack.append(target)
+    ordering = sorted(reachable)
+    renumber = {old: new for new, old in enumerate(ordering)}
+    compact: List[Dict[int, Tuple[int, ...]]] = []
+    for old in ordering:
+        compact.append(
+            {
+                label: tuple(renumber[t] for t in targets if t in reachable)
+                for label, targets in eliminated[old].items()
+            }
+        )
+    return Nfa(
+        len(ordering),
+        [renumber[start]],
+        [renumber[s] for s in accepts if s in reachable],
+        compact,
+        accepts_empty=node.matches_empty(),
+    )
+
+
+def constraint_automaton(labels: Sequence[int], *, star: bool = False) -> Nfa:
+    """The minimal deterministic automaton of an RLC constraint ``L+``.
+
+    States: ``|L|`` position states (state ``j`` = "consumed ``j`` labels
+    of the current copy, at least one copy started"), plus a fresh start
+    state.  The copy boundary (position 0) is the only accepting state,
+    so acceptance happens exactly at multiples of ``|L|`` with at least
+    one copy consumed.  ``star=True`` marks the empty sequence accepted
+    (Kleene star) — the state graph is identical.
+    """
+    m = len(labels)
+    if m == 0:
+        raise QueryError("constraint needs at least one label")
+    for atom in labels:
+        if not isinstance(atom, int):
+            raise QueryError(f"constraint labels must be integer ids, got {atom!r}")
+    start = m  # fresh start state appended after the m position states
+    transitions: List[Dict[int, Tuple[int, ...]]] = [{} for _ in range(m + 1)]
+    for position in range(m):
+        transitions[position].setdefault(labels[position], ())
+        transitions[position][labels[position]] = ((position + 1) % m,)
+    transitions[start][labels[0]] = (1 % m,)
+    return Nfa(m + 1, [start], [0], transitions, accepts_empty=star)

@@ -1,0 +1,124 @@
+"""Epsilon-free nondeterministic finite automata over label ids.
+
+The product of an :class:`Nfa` with a graph drives every online
+baseline: a traversal state is a ``(vertex, nfa_state)`` pair, and an
+RLC query is true iff some ``(target, accepting_state)`` is reachable
+from ``(source, start_state)``.  The bidirectional baseline additionally
+walks the :meth:`reversed` automaton backward from the target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import QueryError
+
+__all__ = ["Nfa"]
+
+Transitions = Mapping[int, Sequence[int]]
+
+
+class Nfa:
+    """An epsilon-free NFA with integer states ``0 .. num_states - 1``.
+
+    ``transitions[state][label]`` is a tuple of successor states; absent
+    labels mean no transition.  ``accepts_empty`` records whether the
+    original expression matched the empty sequence (epsilon elimination
+    erases that information from the state graph when the start state
+    has no self-accepting role).
+    """
+
+    __slots__ = ("num_states", "start_states", "accept_states", "_forward", "accepts_empty")
+
+    def __init__(
+        self,
+        num_states: int,
+        start_states: Iterable[int],
+        accept_states: Iterable[int],
+        transitions: Sequence[Transitions],
+        *,
+        accepts_empty: bool = False,
+    ) -> None:
+        if num_states < 0:
+            raise QueryError("num_states must be >= 0")
+        if len(transitions) != num_states:
+            raise QueryError("transitions must list one mapping per state")
+        self.num_states = num_states
+        self.start_states: FrozenSet[int] = frozenset(start_states)
+        self.accept_states: FrozenSet[int] = frozenset(accept_states)
+        for state in self.start_states | self.accept_states:
+            if not 0 <= state < num_states:
+                raise QueryError(f"state {state} out of range")
+        self._forward: List[Dict[int, Tuple[int, ...]]] = [
+            {label: tuple(targets) for label, targets in mapping.items()}
+            for mapping in transitions
+        ]
+        self.accepts_empty = accepts_empty
+
+    # ------------------------------------------------------------------
+
+    def successors(self, state: int, label: int) -> Tuple[int, ...]:
+        """States reachable from ``state`` by one ``label`` transition."""
+        return self._forward[state].get(label, ())
+
+    def step(self, states: Iterable[int], label: int) -> FrozenSet[int]:
+        """Advance a state set by one label."""
+        result = set()
+        for state in states:
+            result.update(self._forward[state].get(label, ()))
+        return frozenset(result)
+
+    def outgoing_labels(self, state: int) -> Tuple[int, ...]:
+        """Labels with at least one transition out of ``state``."""
+        return tuple(self._forward[state])
+
+    def alphabet(self) -> Tuple[int, ...]:
+        """All labels used by any transition, sorted."""
+        labels = set()
+        for mapping in self._forward:
+            labels.update(mapping)
+        return tuple(sorted(labels))
+
+    def is_accepting(self, states: Iterable[int]) -> bool:
+        """Whether any state of the set is accepting."""
+        return not self.accept_states.isdisjoint(states)
+
+    def accepts_sequence(self, sequence: Sequence[int]) -> bool:
+        """Run the NFA over a concrete label sequence (test oracle).
+
+        >>> from repro.automata import compile_regex, parse_regex
+        >>> nfa = compile_regex(parse_regex("(0 1)+"))
+        >>> nfa.accepts_sequence((0, 1, 0, 1))
+        True
+        >>> nfa.accepts_sequence((0, 1, 0))
+        False
+        """
+        if not sequence:
+            return self.accepts_empty
+        current: FrozenSet[int] = self.start_states
+        for label in sequence:
+            current = self.step(current, label)
+            if not current:
+                return False
+        return self.is_accepting(current)
+
+    def reversed(self) -> "Nfa":
+        """The automaton of the reversed language (for backward search)."""
+        backward: List[Dict[int, List[int]]] = [{} for _ in range(self.num_states)]
+        for state, mapping in enumerate(self._forward):
+            for label, targets in mapping.items():
+                for target in targets:
+                    backward[target].setdefault(label, []).append(state)
+        return Nfa(
+            self.num_states,
+            self.accept_states,
+            self.start_states,
+            backward,
+            accepts_empty=self.accepts_empty,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Nfa(states={self.num_states}, start={sorted(self.start_states)}, "
+            f"accept={sorted(self.accept_states)})"
+        )

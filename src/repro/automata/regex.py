@@ -1,0 +1,250 @@
+"""Regular-expression AST over edge labels, with a tiny parser.
+
+The grammar (lowest to highest precedence)::
+
+    alternation :=  concat ('|' concat)*
+    concat      :=  postfix postfix*
+    postfix     :=  atom ('+' | '*')*
+    atom        :=  LABEL  |  '(' alternation ')'
+
+Labels are identifiers (``knows``) or integers (``3``); commas are
+treated as whitespace so the paper's notation ``(debits, credits)+``
+parses directly.  AST nodes are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+
+__all__ = [
+    "Alternation",
+    "Concat",
+    "Label",
+    "Plus",
+    "Regex",
+    "Star",
+    "parse_regex",
+    "rlc_expression",
+]
+
+LabelAtom = Union[int, str]
+
+
+class Regex:
+    """Base class of regex AST nodes."""
+
+    def matches_empty(self) -> bool:
+        """Whether the empty label sequence is in the language."""
+        raise NotImplementedError
+
+    def labels(self) -> Tuple[LabelAtom, ...]:
+        """All label atoms mentioned, in first-appearance order."""
+        seen = []
+        for atom in self._iter_labels():
+            if atom not in seen:
+                seen.append(atom)
+        return tuple(seen)
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Label(Regex):
+    """A single edge label."""
+
+    atom: LabelAtom
+
+    def matches_empty(self) -> bool:
+        return False
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        yield self.atom
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of sub-expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise QueryError("concatenation needs at least one part")
+
+    def matches_empty(self) -> bool:
+        return all(part.matches_empty() for part in self.parts)
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        for part in self.parts:
+            yield from part._iter_labels()
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Alternation(Regex):
+    """Union of sub-expressions (the LCR-style connective)."""
+
+    options: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 1:
+            raise QueryError("alternation needs at least one option")
+
+    def matches_empty(self) -> bool:
+        return any(option.matches_empty() for option in self.options)
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        for option in self.options:
+            yield from option._iter_labels()
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(option) for option in self.options)
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """Kleene plus: one or more repetitions."""
+
+    inner: Regex
+
+    def matches_empty(self) -> bool:
+        return self.inner.matches_empty()
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        yield from self.inner._iter_labels()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star: zero or more repetitions."""
+
+    inner: Regex
+
+    def matches_empty(self) -> bool:
+        return True
+
+    def _iter_labels(self) -> Iterator[LabelAtom]:
+        yield from self.inner._iter_labels()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(node: Regex) -> str:
+    text = str(node)
+    if isinstance(node, (Concat, Alternation)) and " " in text:
+        return f"({text})"
+    return text
+
+
+def rlc_expression(labels: Sequence[LabelAtom], operator: str = "+") -> Regex:
+    """Build the AST of an RLC constraint ``(l1 ... lj)+`` (or ``*``)."""
+    if not labels:
+        raise QueryError("RLC constraint needs at least one label")
+    body: Regex = (
+        Label(labels[0]) if len(labels) == 1 else Concat(tuple(Label(a) for a in labels))
+    )
+    if operator == "+":
+        return Plus(body)
+    if operator == "*":
+        return Star(body)
+    raise QueryError(f"operator must be '+' or '*', got {operator!r}")
+
+
+_TOKEN = re.compile(r"\s*(?:(?P<label>[A-Za-z_][A-Za-z0-9_]*|\d+)|(?P<op>[()|+*]))")
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str]]:
+    position = 0
+    cleaned = text.replace(",", " ")
+    while position < len(cleaned):
+        match = _TOKEN.match(cleaned, position)
+        if match is None:
+            remainder = cleaned[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize regex at: {remainder!r}")
+        position = match.end()
+        if match.group("label") is not None:
+            yield ("label", match.group("label"))
+        else:
+            yield (match.group("op"), match.group("op"))
+    yield ("end", "")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._position = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._position][0]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def parse(self) -> Regex:
+        node = self._alternation()
+        if self._peek() != "end":
+            raise QueryError(f"unexpected token {self._tokens[self._position][1]!r}")
+        return node
+
+    def _alternation(self) -> Regex:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._advance()
+            options.append(self._concat())
+        return options[0] if len(options) == 1 else Alternation(tuple(options))
+
+    def _concat(self) -> Regex:
+        parts = [self._postfix()]
+        while self._peek() in ("label", "("):
+            parts.append(self._postfix())
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def _postfix(self) -> Regex:
+        node = self._atom()
+        while self._peek() in ("+", "*"):
+            kind, _ = self._advance()
+            node = Plus(node) if kind == "+" else Star(node)
+        return node
+
+    def _atom(self) -> Regex:
+        kind, value = self._advance()
+        if kind == "label":
+            return Label(int(value) if value.isdigit() else value)
+        if kind == "(":
+            node = self._alternation()
+            closing, _ = self._advance()
+            if closing != ")":
+                raise QueryError("unbalanced parenthesis in regex")
+            return node
+        raise QueryError(f"unexpected token {value!r} in regex")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse textual notation into a :class:`Regex` AST.
+
+    >>> str(parse_regex("(debits, credits)+"))
+    '(debits credits)+'
+    >>> str(parse_regex("a+ b+"))
+    'a+ b+'
+    """
+    if not text.strip():
+        raise QueryError("empty regex")
+    return _Parser(text).parse()

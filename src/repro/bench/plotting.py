@@ -1,0 +1,134 @@
+"""Terminal rendering of the paper's figures as ASCII charts.
+
+The paper's evaluation artifacts are largely *figures* (Fig. 3-7); the
+drivers in :mod:`repro.bench.experiments` return the underlying series
+as tables, and this module turns them into log/linear ASCII plots so a
+terminal-only reproduction run still shows the curve shapes — who
+grows, who stays flat, where lines cross.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot", "series_from_table"]
+
+_MARKERS = "ox*+#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 1e-2:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as a fixed-size ASCII chart.
+
+    ``log_y`` plots ``log10(y)`` (zero/negative values are dropped),
+    matching the paper's log-scale time axes.  Each series gets a
+    marker from ``o x * + ...``; a legend is appended.
+    """
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    for name, values in series.items():
+        kept = []
+        for x, y in values:
+            if y is None:
+                continue
+            if log_y:
+                if y <= 0:
+                    continue
+                kept.append((float(x), math.log10(y)))
+            else:
+                kept.append((float(x), float(y)))
+        if kept:
+            points[name] = kept
+    if not points:
+        return f"{title}\n(no plottable data)"
+
+    xs = [x for values in points.values() for x, _ in values]
+    ys = [y for values in points.values() for _, y in values]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    top_value = 10**y_high if log_y else y_high
+    bottom_value = 10**y_low if log_y else y_low
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_value(top_value)
+        elif row_index == height - 1:
+            label = _format_value(bottom_value)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |{''.join(row)}")
+    lines.append(f"{'':>{axis_width}} +{'-' * width}")
+    x_axis = f"{_format_value(x_low)}{' ' * max(width - 12, 1)}{_format_value(x_high)}"
+    lines.append(f"{'':>{axis_width}}  {x_axis}")
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(f"y: {y_label}" + (" (log)" if log_y else ""))
+    if footer:
+        lines.append(f"{'':>{axis_width}}  {'; '.join(footer)}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append(f"{'':>{axis_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def series_from_table(
+    rows: Sequence[Dict],
+    *,
+    x: str,
+    y: str,
+    group_by: Optional[str] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Pivot ResultTable rows into plottable ``{name: [(x, y)]}`` series.
+
+    Rows whose ``y`` value is missing or non-numeric (timeouts) are
+    skipped.  ``group_by`` splits rows into one series per value; with
+    ``None`` a single series named after ``y`` is produced.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        y_value = row.get(y)
+        x_value = row.get(x)
+        if not isinstance(y_value, (int, float)) or not isinstance(
+            x_value, (int, float)
+        ):
+            continue
+        name = str(row.get(group_by)) if group_by else y
+        series.setdefault(name, []).append((float(x_value), float(y_value)))
+    for values in series.values():
+        values.sort()
+    return series

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``stats GRAPH`` — print Table III-style statistics of a graph file;
+- ``build GRAPH -k K -o INDEX`` — build and persist an RLC index;
+- ``query INDEX SOURCE TARGET CONSTRAINT`` — answer one RLC query
+  (constraint in the paper's notation, e.g. ``"(debits, credits)+"``);
+- ``workload GRAPH -k K -o FILE`` — generate a verified query workload;
+- ``run INDEX WORKLOAD`` — replay a workload through an index;
+- ``dataset NAME -o GRAPH`` — materialize a Table III stand-in.
+
+Graph files may be text edge lists (``source label target`` per line)
+or ``.npz`` archives written by this tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import build_rlc_index
+from repro.core.index import RlcIndex
+from repro.errors import ReproError
+from repro.graph import compute_stats, datasets
+from repro.graph.io import load_graph, save_graph_npz, write_edge_list
+from repro.labels.sequences import parse_constraint
+from repro.workloads import generate_workload, load_workload, save_workload
+
+__all__ = ["main"]
+
+
+def _cmd_stats(args) -> int:
+    graph = load_graph(args.graph)
+    stats = compute_stats(graph)
+    print(stats.format_row(args.graph))
+    print(
+        f"max out-degree {stats.max_out_degree}, max in-degree {stats.max_in_degree}, "
+        f"directed 3-cycles {stats.directed_triangle_count}"
+    )
+    histogram = ", ".join(
+        f"{label}:{count}" for label, count in enumerate(stats.label_histogram)
+    )
+    print(f"label histogram: {histogram}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    graph = load_graph(args.graph)
+    started = time.perf_counter()
+    index = build_rlc_index(
+        graph,
+        args.k,
+        strategy=args.strategy,
+        ordering=args.ordering,
+        time_budget=args.time_budget,
+    )
+    elapsed = time.perf_counter() - started
+    index.save(args.output)
+    stats = index.build_stats
+    print(
+        f"built k={args.k} index for {graph!r} in {elapsed:.2f}s: "
+        f"{index.num_entries} entries, {index.estimated_size_bytes()} bytes "
+        f"-> {args.output}"
+    )
+    print(
+        f"pruning: PR1 {stats.pruned_pr1}, PR2 {stats.pruned_pr2}, "
+        f"PR3 stops {stats.pr3_stops}, duplicates {stats.duplicates}"
+    )
+    return 0
+
+
+def _resolve_constraint(index: RlcIndex, text: str):
+    labels, operator = parse_constraint(text)
+    if index.label_dictionary is not None:
+        encoded = tuple(
+            index.label_dictionary.id_of(name) if not name.isdigit() else int(name)
+            for name in labels
+        )
+    else:
+        encoded = tuple(int(name) for name in labels)
+    return encoded, operator
+
+
+def _cmd_query(args) -> int:
+    index = RlcIndex.load(args.index)
+    encoded, operator = _resolve_constraint(index, args.constraint)
+    if operator == "*":
+        answer = index.query_star(args.source, args.target, encoded)
+    else:
+        answer = index.query(args.source, args.target, encoded)
+    print("true" if answer else "false")
+    return 0 if answer else 1
+
+
+def _cmd_workload(args) -> int:
+    graph = load_graph(args.graph)
+    workload = generate_workload(
+        graph,
+        args.k,
+        num_true=args.true_queries,
+        num_false=args.false_queries,
+        seed=args.seed,
+        graph_name=str(args.graph),
+    )
+    save_workload(workload, args.output)
+    print(
+        f"wrote {len(workload.true_queries)} true + "
+        f"{len(workload.false_queries)} false queries -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    index = RlcIndex.load(args.index)
+    workload = load_workload(args.workload)
+    started = time.perf_counter()
+    wrong = 0
+    for query, expected in workload.labeled_queries():
+        if index.query(query.source, query.target, query.labels) != expected:
+            wrong += 1
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(workload)} queries in {elapsed * 1e3:.2f} ms "
+        f"({elapsed / max(len(workload), 1) * 1e6:.1f} us/query), "
+        f"{wrong} wrong answers"
+    )
+    return 0 if wrong == 0 else 1
+
+
+def _cmd_dataset(args) -> int:
+    graph = datasets.load_dataset(args.name, scale=args.scale)
+    if str(args.output).endswith(".npz"):
+        save_graph_npz(graph, args.output)
+    else:
+        write_edge_list(graph, args.output)
+    print(f"wrote {args.name} stand-in {graph!r} -> {args.output}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RLC index (ICDE 2023) command line"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="print graph statistics")
+    stats.add_argument("graph")
+    stats.set_defaults(handler=_cmd_stats)
+
+    build = commands.add_parser("build", help="build and save an RLC index")
+    build.add_argument("graph")
+    build.add_argument("-k", type=int, default=2, help="recursive bound (default 2)")
+    build.add_argument("-o", "--output", required=True)
+    build.add_argument("--strategy", choices=("eager", "lazy"), default="eager")
+    build.add_argument(
+        "--ordering", choices=("in-out", "degree", "random"), default="in-out"
+    )
+    build.add_argument("--time-budget", type=float, default=None)
+    build.set_defaults(handler=_cmd_build)
+
+    query = commands.add_parser("query", help="answer one RLC query")
+    query.add_argument("index")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("constraint", help='e.g. "(debits, credits)+"')
+    query.set_defaults(handler=_cmd_query)
+
+    workload = commands.add_parser("workload", help="generate a query workload")
+    workload.add_argument("graph")
+    workload.add_argument("-k", type=int, default=2)
+    workload.add_argument("--true-queries", type=int, default=100)
+    workload.add_argument("--false-queries", type=int, default=100)
+    workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("-o", "--output", required=True)
+    workload.set_defaults(handler=_cmd_workload)
+
+    run = commands.add_parser("run", help="replay a workload through an index")
+    run.add_argument("index")
+    run.add_argument("workload")
+    run.set_defaults(handler=_cmd_run)
+
+    dataset = commands.add_parser("dataset", help="materialize a stand-in dataset")
+    dataset.add_argument("name", choices=datasets.dataset_names())
+    dataset.add_argument("--scale", type=float, default=1.0)
+    dataset.add_argument("-o", "--output", required=True)
+    dataset.set_defaults(handler=_cmd_dataset)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

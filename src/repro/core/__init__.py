@@ -1,0 +1,30 @@
+"""The RLC index — the paper's primary contribution.
+
+- :class:`RlcIndex` — per-vertex ``Lin``/``Lout`` entry sets with the
+  merge-join query algorithm (Algorithm 1 / Definition 4);
+- :class:`RlcIndexBuilder` / :func:`build_rlc_index` — the indexing
+  algorithm (Algorithm 2): eager or lazy kernel-based search with
+  pruning rules PR1-PR3 over a 2-hop-style vertex ordering;
+- :mod:`repro.core.ordering` — the IN-OUT access-id strategy and
+  ablation alternatives;
+- :class:`ExtendedQueryEvaluator` — index-accelerated evaluation of
+  extended constraints such as ``a+ b+`` (Table V's Q4).
+"""
+
+from repro.core.index import BuildStats, RlcIndex
+from repro.core.builder import RlcIndexBuilder, build_rlc_index
+from repro.core.ordering import compute_order
+from repro.core.extended import ExtendedQueryEvaluator
+from repro.core.witness import find_witness_path
+from repro.core.dynamic import DynamicRlcIndex
+
+__all__ = [
+    "BuildStats",
+    "DynamicRlcIndex",
+    "ExtendedQueryEvaluator",
+    "RlcIndex",
+    "RlcIndexBuilder",
+    "build_rlc_index",
+    "compute_order",
+    "find_witness_path",
+]

@@ -1,0 +1,346 @@
+"""Immutable edge-labeled directed graph with label-partitioned adjacency.
+
+The representation is tuned for the two access patterns of the paper's
+algorithms:
+
+- *kernel-search* (Algorithm 2, phase 1) scans **all** in/out edges of a
+  vertex: served by per-vertex ``(label, neighbor)`` lists;
+- *kernel-BFS* (phase 2) scans the in/out neighbors reachable through a
+  **specific** label: served by per-vertex ``{label: (neighbors...)}``
+  dicts, so each expansion touches only matching edges.
+
+Both structures are materialized once at construction from a
+numpy-sorted, de-duplicated edge array, which is also kept for
+statistics, serialization and reversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.labels.sequences import LabelDictionary
+
+__all__ = ["EdgeLabeledDigraph"]
+
+Edge = Tuple[int, int, int]
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class EdgeLabeledDigraph:
+    """An immutable directed graph ``G = (V, E, L)`` with integer labels.
+
+    Vertices are ``0 .. num_vertices - 1``; labels are
+    ``0 .. num_labels - 1``.  Edges form a set: adding the same
+    ``(source, label, target)`` twice stores it once (paper Section III
+    defines ``E`` as a subset of ``V x L x V``).  Self-loops are allowed
+    and significant (Table III tracks them; the paper notes a self-loop
+    "might need to be traversed multiple times").
+
+    Use :class:`repro.graph.GraphBuilder` for incremental construction
+    with string labels, or :meth:`from_edges` for integer triples.
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_num_labels",
+        "_sources",
+        "_labels",
+        "_targets",
+        "_out",
+        "_in",
+        "_out_by_label",
+        "_in_by_label",
+        "label_dictionary",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Edge],
+        *,
+        num_labels: Optional[int] = None,
+        label_dictionary: Optional[LabelDictionary] = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        edge_array = np.asarray(list(edges) or np.empty((0, 3)), dtype=np.int64)
+        if edge_array.size and edge_array.ndim != 2:
+            raise GraphError("edges must be (source, label, target) triples")
+        edge_array = edge_array.reshape(-1, 3)
+        sources, labels, targets = edge_array[:, 0], edge_array[:, 1], edge_array[:, 2]
+
+        self._validate(num_vertices, sources, labels, targets, num_labels, label_dictionary)
+
+        # Canonical form: lexicographically sorted by (source, label,
+        # target), duplicates removed.  np.unique on the structured view
+        # gives both in one pass.
+        if edge_array.size:
+            edge_array = np.unique(edge_array, axis=0)
+            sources, labels, targets = edge_array[:, 0], edge_array[:, 1], edge_array[:, 2]
+
+        self._num_vertices = int(num_vertices)
+        self._sources = np.ascontiguousarray(sources)
+        self._labels = np.ascontiguousarray(labels)
+        self._targets = np.ascontiguousarray(targets)
+
+        if label_dictionary is not None:
+            resolved_labels = len(label_dictionary)
+        elif num_labels is not None:
+            resolved_labels = num_labels
+        else:
+            resolved_labels = int(labels.max()) + 1 if labels.size else 0
+        self._num_labels = int(resolved_labels)
+        self.label_dictionary = label_dictionary
+
+        self._out = self._bucket_adjacency(self._sources, self._labels, self._targets)
+        self._in = self._bucket_adjacency(self._targets, self._labels, self._sources)
+        self._out_by_label = self._partition_by_label(self._out)
+        self._in_by_label = self._partition_by_label(self._in)
+
+    @staticmethod
+    def _validate(
+        num_vertices: int,
+        sources: np.ndarray,
+        labels: np.ndarray,
+        targets: np.ndarray,
+        num_labels: Optional[int],
+        label_dictionary: Optional[LabelDictionary],
+    ) -> None:
+        if sources.size == 0:
+            return
+        low = min(int(sources.min()), int(targets.min()))
+        high = max(int(sources.max()), int(targets.max()))
+        if low < 0 or high >= num_vertices:
+            raise GraphError(
+                f"edge endpoint out of range [0, {num_vertices}): found {low if low < 0 else high}"
+            )
+        if int(labels.min()) < 0:
+            raise GraphError("labels must be non-negative integers")
+        label_bound = None
+        if label_dictionary is not None:
+            label_bound = len(label_dictionary)
+        elif num_labels is not None:
+            label_bound = num_labels
+        if label_bound is not None and int(labels.max()) >= label_bound:
+            raise GraphError(
+                f"label id {int(labels.max())} out of range [0, {label_bound})"
+            )
+
+    def _bucket_adjacency(
+        self, keys: np.ndarray, labels: np.ndarray, values: np.ndarray
+    ) -> List[List[Tuple[int, int]]]:
+        """Group ``(label, value)`` pairs per key vertex, sorted by (label, value)."""
+        n = self._num_vertices
+        if keys.size == 0:
+            return [[] for _ in range(n)]
+        order = np.lexsort((values, labels, keys))
+        sorted_keys = keys[order]
+        pair_labels = labels[order].tolist()
+        pair_values = values[order].tolist()
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sorted_keys, minlength=n), out=offsets[1:])
+        bounds = offsets.tolist()
+        pairs = list(zip(pair_labels, pair_values))
+        return [pairs[bounds[v] : bounds[v + 1]] for v in range(n)]
+
+    @staticmethod
+    def _partition_by_label(
+        adjacency: List[List[Tuple[int, int]]],
+    ) -> List[Dict[int, Tuple[int, ...]]]:
+        partitioned: List[Dict[int, Tuple[int, ...]]] = []
+        for pairs in adjacency:
+            by_label: Dict[int, List[int]] = {}
+            for label, neighbor in pairs:
+                by_label.setdefault(label, []).append(neighbor)
+            partitioned.append({label: tuple(vs) for label, vs in by_label.items()})
+        return partitioned
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        *,
+        num_vertices: Optional[int] = None,
+        num_labels: Optional[int] = None,
+        label_dictionary: Optional[LabelDictionary] = None,
+    ) -> "EdgeLabeledDigraph":
+        """Build a graph from integer triples, inferring sizes if omitted."""
+        edge_list = list(edges)
+        if num_vertices is None:
+            num_vertices = (
+                max(max(u, v) for u, _, v in edge_list) + 1 if edge_list else 0
+            )
+        return cls(
+            num_vertices,
+            edge_list,
+            num_labels=num_labels,
+            label_dictionary=label_dictionary,
+        )
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct labeled edges ``|E|``."""
+        return int(self._sources.shape[0])
+
+    @property
+    def num_labels(self) -> int:
+        """Size of the label alphabet ``|L|``."""
+        return self._num_labels
+
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeLabeledDigraph(|V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, |L|={self.num_labels})"
+        )
+
+    # ------------------------------------------------------------------
+    # Adjacency accessors (hot paths)
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex: int) -> Sequence[Tuple[int, int]]:
+        """Return the ``(label, target)`` pairs leaving ``vertex``."""
+        return self._out[vertex]
+
+    def in_edges(self, vertex: int) -> Sequence[Tuple[int, int]]:
+        """Return the ``(label, source)`` pairs entering ``vertex``."""
+        return self._in[vertex]
+
+    def out_neighbors(self, vertex: int, label: int) -> Sequence[int]:
+        """Targets of edges ``vertex --label--> t`` (empty tuple if none)."""
+        return self._out_by_label[vertex].get(label, _EMPTY)
+
+    def in_neighbors(self, vertex: int, label: int) -> Sequence[int]:
+        """Sources of edges ``s --label--> vertex`` (empty tuple if none)."""
+        return self._in_by_label[vertex].get(label, _EMPTY)
+
+    def out_labels(self, vertex: int) -> Sequence[int]:
+        """Distinct labels on out-edges of ``vertex``."""
+        return tuple(self._out_by_label[vertex])
+
+    def in_labels(self, vertex: int) -> Sequence[int]:
+        """Distinct labels on in-edges of ``vertex``."""
+        return tuple(self._in_by_label[vertex])
+
+    def out_degree(self, vertex: int) -> int:
+        """Number of out-edges of ``vertex``."""
+        return len(self._out[vertex])
+
+    def in_degree(self, vertex: int) -> int:
+        """Number of in-edges of ``vertex``."""
+        return len(self._in[vertex])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an int64 array."""
+        return np.bincount(self._sources, minlength=self._num_vertices)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex as an int64 array."""
+        return np.bincount(self._targets, minlength=self._num_vertices)
+
+    def has_edge(self, source: int, label: int, target: int) -> bool:
+        """Return True when the labeled edge is present."""
+        if not 0 <= source < self._num_vertices:
+            return False
+        return target in self._out_by_label[source].get(label, _EMPTY)
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Return True when ``vertex`` is a valid vertex id."""
+        return 0 <= vertex < self._num_vertices
+
+    # ------------------------------------------------------------------
+    # Whole-graph views
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all ``(source, label, target)`` triples."""
+        yield from zip(
+            self._sources.tolist(), self._labels.tolist(), self._targets.tolist()
+        )
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (sources, labels, targets) as read-only numpy views."""
+        return self._sources, self._labels, self._targets
+
+    def reverse(self) -> "EdgeLabeledDigraph":
+        """Return the graph with every edge direction flipped."""
+        flipped = np.column_stack((self._targets, self._labels, self._sources))
+        return EdgeLabeledDigraph(
+            self._num_vertices,
+            flipped,
+            num_labels=self._num_labels,
+            label_dictionary=self.label_dictionary,
+        )
+
+    def adjacency_matrix(self):
+        """Boolean CSR adjacency (labels ignored, duplicates collapsed)."""
+        from scipy import sparse
+
+        n = self._num_vertices
+        data = np.ones(self.num_edges, dtype=bool)
+        matrix = sparse.csr_matrix(
+            (data, (self._sources, self._targets)), shape=(n, n), dtype=bool
+        )
+        matrix.sum_duplicates()
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Label-name conveniences
+    # ------------------------------------------------------------------
+
+    def label_id(self, name: str) -> int:
+        """Resolve a label name through the attached dictionary."""
+        if self.label_dictionary is None:
+            raise GraphError("graph has no label dictionary; use integer labels")
+        return self.label_dictionary.id_of(name)
+
+    def label_name(self, label_id: int) -> str:
+        """Resolve a label id to its name through the attached dictionary."""
+        if self.label_dictionary is None:
+            raise GraphError("graph has no label dictionary; use integer labels")
+        return self.label_dictionary.name_of(label_id)
+
+    def encode_sequence(self, sequence: Sequence) -> Tuple[int, ...]:
+        """Translate a mixed name/id label sequence into an id tuple."""
+        if self.label_dictionary is not None:
+            return self.label_dictionary.encode(sequence)
+        encoded = []
+        for atom in sequence:
+            if not isinstance(atom, int):
+                raise GraphError(
+                    "graph has no label dictionary; labels must be integers"
+                )
+            if not 0 <= atom < self._num_labels:
+                raise GraphError(f"unknown label id: {atom}")
+            encoded.append(atom)
+        return tuple(encoded)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeLabeledDigraph):
+            return NotImplemented
+        return (
+            self._num_vertices == other._num_vertices
+            and self._num_labels == other._num_labels
+            and np.array_equal(self._sources, other._sources)
+            and np.array_equal(self._labels, other._labels)
+            and np.array_equal(self._targets, other._targets)
+        )

@@ -1,0 +1,335 @@
+"""Graph generators for the paper's synthetic experiments and examples.
+
+Section VI uses Erdos-Renyi (ER) and Barabasi-Albert (BA) graphs
+(generated with JGraphT in the original work) with edge labels drawn
+from a Zipfian distribution with exponent 2, following the gMark
+benchmark observation that "only a few labels have a large number of
+occurrences".  We provide numpy-based equivalents:
+
+- :func:`erdos_renyi` — ``G(n, m)``: ``m`` distinct directed edges
+  chosen uniformly (near-uniform degrees);
+- :func:`barabasi_albert` — preferential attachment seeded with a
+  complete directed subgraph.  Attachment edges are randomly oriented so
+  the result is cyclic (plain new->old orientation would yield a DAG,
+  contradicting the paper's "highly cyclic" synthetic graphs);
+- :func:`copying_web_graph` — a copying-model generator used for the
+  web-crawl dataset stand-ins (high triangle density);
+- :func:`zipfian_labels` / :func:`assign_labels` — label assignment;
+- :func:`paper_figure1` / :func:`paper_figure2` — the running examples.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import EdgeLabeledDigraph
+
+__all__ = [
+    "assign_labels",
+    "barabasi_albert",
+    "copying_web_graph",
+    "erdos_renyi",
+    "labeled_barabasi_albert",
+    "labeled_erdos_renyi",
+    "paper_figure1",
+    "paper_figure2",
+    "with_self_loops",
+    "zipfian_labels",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Topology generators (unlabeled edge pairs)
+# ----------------------------------------------------------------------
+
+
+def erdos_renyi(
+    num_vertices: int, num_edges: int, seed=None
+) -> np.ndarray:
+    """Return ``num_edges`` distinct directed non-loop edges, uniform at random.
+
+    This is the ``G(n, m)`` flavour (JGraphT's ``GnmRandomGraphGenerator``):
+    fixing the edge count fixes the average degree exactly, which is what
+    the paper sweeps in Fig. 5.
+    """
+    if num_vertices < 2 and num_edges > 0:
+        raise GraphError("need at least 2 vertices to place non-loop edges")
+    capacity = num_vertices * (num_vertices - 1)
+    if num_edges > capacity:
+        raise GraphError(f"cannot place {num_edges} distinct edges in {capacity} slots")
+    rng = _rng(seed)
+    if num_edges == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    # Sample edge codes without replacement in the space of ordered
+    # pairs (u, v), u != v, encoded as u * (n-1) + (v if v < u else v-1).
+    dense = num_edges > capacity // 4
+    if dense:
+        codes = rng.choice(capacity, size=num_edges, replace=False)
+    else:
+        chosen = set()
+        # Oversample in batches; duplicates are discarded.
+        while len(chosen) < num_edges:
+            batch = rng.integers(0, capacity, size=2 * (num_edges - len(chosen)))
+            chosen.update(batch.tolist())
+        codes = np.fromiter(chosen, dtype=np.int64, count=len(chosen))[:num_edges]
+    sources = codes // (num_vertices - 1)
+    remainder = codes % (num_vertices - 1)
+    targets = np.where(remainder >= sources, remainder + 1, remainder)
+    return np.column_stack((sources, targets))
+
+
+def barabasi_albert(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed=None,
+    *,
+    forward_probability: float = 0.5,
+) -> np.ndarray:
+    """Preferential-attachment digraph seeded with a complete subgraph.
+
+    The first ``edges_per_vertex + 1`` vertices form a complete directed
+    subgraph (the paper: "BA-graphs contain a complete sub-graph[s]").
+    Each subsequent vertex attaches to ``edges_per_vertex`` distinct
+    existing vertices chosen proportionally to their current degree;
+    each attachment edge points away from the new vertex with
+    probability ``forward_probability`` and toward it otherwise, so
+    cycles appear throughout the graph.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise GraphError("edges_per_vertex must be >= 1")
+    seed_size = m + 1
+    if num_vertices < seed_size:
+        raise GraphError(f"need at least {seed_size} vertices for m={m}")
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = [
+        (u, v) for u in range(seed_size) for v in range(seed_size) if u != v
+    ]
+    # repeated_nodes implements the classic proportional sampling trick:
+    # each vertex appears once per incident attachment edge.
+    repeated_nodes: List[int] = [v for edge in edges for v in edge]
+    for new_vertex in range(seed_size, num_vertices):
+        chosen = set()
+        while len(chosen) < m:
+            pick = repeated_nodes[rng.integers(0, len(repeated_nodes))]
+            chosen.add(pick)
+        for existing in chosen:
+            if rng.random() < forward_probability:
+                edges.append((new_vertex, existing))
+            else:
+                edges.append((existing, new_vertex))
+            repeated_nodes.append(existing)
+            repeated_nodes.append(new_vertex)
+    return np.asarray(edges, dtype=np.int64)
+
+
+def copying_web_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed=None,
+    *,
+    copy_probability: float = 0.6,
+    back_edge_probability: float = 0.25,
+) -> np.ndarray:
+    """Copying-model digraph with web-crawl-like triangle density.
+
+    Each new vertex links to a random *prototype* among existing
+    vertices and, with ``copy_probability`` per remaining slot, copies
+    one of the prototype's out-links (closing a triangle
+    ``new -> prototype -> x``, ``new -> x``), otherwise links uniformly.
+    With ``back_edge_probability`` the pointed-to vertex links back,
+    creating short cycles (web graphs in Table III combine large
+    triangle counts with cyclicity).
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise GraphError("edges_per_vertex must be >= 1")
+    seed_size = max(m + 1, 3)
+    if num_vertices < seed_size:
+        raise GraphError(f"need at least {seed_size} vertices for m={m}")
+    rng = _rng(seed)
+    out_links: List[List[int]] = [
+        [v for v in range(seed_size) if v != u] for u in range(seed_size)
+    ]
+    edges: List[Tuple[int, int]] = [
+        (u, v) for u in range(seed_size) for v in out_links[u]
+    ]
+    for new_vertex in range(seed_size, num_vertices):
+        prototype = int(rng.integers(0, new_vertex))
+        prototype_links = out_links[prototype]
+        links = {prototype}
+        for _ in range(m - 1):
+            if prototype_links and rng.random() < copy_probability:
+                links.add(prototype_links[rng.integers(0, len(prototype_links))])
+            else:
+                links.add(int(rng.integers(0, new_vertex)))
+        out_links.append(sorted(links))
+        for target in links:
+            edges.append((new_vertex, target))
+            if rng.random() < back_edge_probability:
+                edges.append((target, new_vertex))
+    return np.asarray(edges, dtype=np.int64)
+
+
+def with_self_loops(
+    edges: np.ndarray, num_vertices: int, loop_count: int, seed=None
+) -> np.ndarray:
+    """Append ``loop_count`` self-loops on distinct random vertices."""
+    if loop_count == 0:
+        return edges
+    if loop_count > num_vertices:
+        raise GraphError("cannot place more distinct self-loops than vertices")
+    rng = _rng(seed)
+    loop_vertices = rng.choice(num_vertices, size=loop_count, replace=False)
+    loops = np.column_stack((loop_vertices, loop_vertices))
+    return np.concatenate([edges, loops], axis=0)
+
+
+# ----------------------------------------------------------------------
+# Label assignment
+# ----------------------------------------------------------------------
+
+
+def zipfian_labels(
+    num_edges: int, num_labels: int, seed=None, *, exponent: float = 2.0
+) -> np.ndarray:
+    """Draw one label per edge from a truncated Zipf distribution.
+
+    Label ``i`` (0-based) has probability proportional to
+    ``1 / (i + 1)^exponent`` — the paper follows gMark and uses
+    exponent 2, making the most frequent label dominate.
+    """
+    if num_labels < 1:
+        raise GraphError("num_labels must be >= 1")
+    rng = _rng(seed)
+    weights = 1.0 / np.arange(1, num_labels + 1, dtype=np.float64) ** exponent
+    probabilities = weights / weights.sum()
+    return rng.choice(num_labels, size=num_edges, p=probabilities)
+
+
+def assign_labels(
+    pairs: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Zip ``(u, v)`` pairs with per-edge labels into ``(u, label, v)`` triples."""
+    if len(pairs) != len(labels):
+        raise GraphError("pairs and labels must have equal length")
+    if len(pairs) == 0:
+        return np.empty((0, 3), dtype=np.int64)
+    return np.column_stack((pairs[:, 0], labels, pairs[:, 1])).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Labeled convenience wrappers (what the experiments call)
+# ----------------------------------------------------------------------
+
+
+def labeled_erdos_renyi(
+    num_vertices: int,
+    average_degree: float,
+    num_labels: int,
+    seed=None,
+    *,
+    zipf_exponent: float = 2.0,
+) -> EdgeLabeledDigraph:
+    """ER graph with ``round(n * d)`` edges and Zipfian labels (Fig. 5/6)."""
+    rng = _rng(seed)
+    num_edges = int(round(num_vertices * average_degree))
+    pairs = erdos_renyi(num_vertices, num_edges, rng)
+    labels = zipfian_labels(len(pairs), num_labels, rng, exponent=zipf_exponent)
+    return EdgeLabeledDigraph(
+        num_vertices, assign_labels(pairs, labels), num_labels=num_labels
+    )
+
+
+def labeled_barabasi_albert(
+    num_vertices: int,
+    edges_per_vertex: int,
+    num_labels: int,
+    seed=None,
+    *,
+    zipf_exponent: float = 2.0,
+) -> EdgeLabeledDigraph:
+    """BA graph with Zipfian labels (Fig. 5/6)."""
+    rng = _rng(seed)
+    pairs = barabasi_albert(num_vertices, edges_per_vertex, rng)
+    labels = zipfian_labels(len(pairs), num_labels, rng, exponent=zipf_exponent)
+    return EdgeLabeledDigraph(
+        num_vertices, assign_labels(pairs, labels), num_labels=num_labels
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper running examples
+# ----------------------------------------------------------------------
+
+
+def paper_figure1() -> EdgeLabeledDigraph:
+    """The social/professional/financial network of Fig. 1.
+
+    Vertices P10-P13, P16 (persons), A14, A17, A19 (accounts), E15, E18
+    (intermediate entities); labels knows, worksFor, holds, debits,
+    credits.  ``Q1(A14, A19, (debits, credits)+)`` is true and
+    ``Q2(P10, P13, (knows, knows, worksFor)+)`` is false, as in
+    Example 1.
+    """
+    builder = GraphBuilder()
+    for source, label, target in [
+        ("P10", "knows", "P11"),
+        ("P11", "worksFor", "P12"),
+        ("P11", "knows", "P10"),
+        ("P12", "knows", "P13"),
+        ("P12", "knows", "P11"),
+        ("P13", "worksFor", "P16"),
+        ("P13", "knows", "P12"),
+        ("P16", "knows", "P12"),
+        ("P10", "holds", "A14"),
+        ("P16", "holds", "A17"),
+        ("A14", "debits", "E15"),
+        ("E15", "credits", "A17"),
+        ("A17", "debits", "E18"),
+        ("E18", "credits", "A19"),
+    ]:
+        builder.add_edge(source, label, target)
+    return builder.build()
+
+
+def paper_figure2() -> EdgeLabeledDigraph:
+    """The 6-vertex running example of Fig. 2 (used by Table II).
+
+    The edge set is reconstructed from Examples 4-6 and Table II of the
+    paper: every index entry and every path mentioned in the running
+    examples is realized by this graph, and the IN-OUT vertex ordering
+    comes out as (v1, v3, v2, v4, v5, v6) exactly as in Section V-B.
+    Vertices are named ``v1``..``v6`` and labels ``l1``, ``l2``, ``l3``.
+    """
+    builder = GraphBuilder()
+    # Intern vertices in name order so ids are v1=0 .. v6=5 and the
+    # IN-OUT tie-break reproduces the paper's access order
+    # (v1, v3, v2, v4, v5, v6); labels intern as l1=0, l2=1, l3=2.
+    for name in ("v1", "v2", "v3", "v4", "v5", "v6"):
+        builder.add_vertex(name)
+    for source, label, target in [
+        ("v1", "l1", "v2"),
+        ("v1", "l2", "v3"),
+        ("v2", "l1", "v5"),
+        ("v2", "l2", "v5"),
+        ("v3", "l1", "v2"),
+        ("v3", "l1", "v6"),
+        ("v3", "l2", "v1"),
+        ("v3", "l2", "v4"),
+        ("v4", "l1", "v1"),
+        ("v4", "l3", "v6"),
+        ("v5", "l1", "v1"),
+    ]:
+        builder.add_edge(source, label, target)
+    return builder.build()

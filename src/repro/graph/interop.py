@@ -1,0 +1,77 @@
+"""Interoperability with networkx.
+
+Downstream users often already hold graphs as
+:class:`networkx.MultiDiGraph`; these converters move labeled graphs in
+and out without losing vertex names or label names.  networkx is an
+optional dependency — importing this module without it installed raises
+a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import EdgeLabeledDigraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise GraphError(
+            "networkx is required for graph interop (pip install networkx)"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph, *, label_attribute: str = "label"
+) -> Tuple[EdgeLabeledDigraph, Tuple]:
+    """Convert a (Multi)DiGraph with labeled edges.
+
+    Edge labels are read from ``label_attribute`` (missing labels raise
+    — an unlabeled edge has no RLC semantics).  Returns
+    ``(graph, node_order)`` where ``node_order[i]`` is the original
+    node object for vertex id ``i``.
+    """
+    networkx = _require_networkx()
+    if not nx_graph.is_directed():
+        raise GraphError("RLC queries are defined on directed graphs")
+    builder = GraphBuilder()
+    nodes = tuple(nx_graph.nodes())
+    ids = {node: builder.add_vertex(str(node)) for node in nodes}
+    for edge in nx_graph.edges(data=True):
+        source, target, data = edge
+        if label_attribute not in data:
+            raise GraphError(
+                f"edge ({source!r}, {target!r}) has no {label_attribute!r} attribute"
+            )
+        builder.add_edge(str(source), str(data[label_attribute]), str(target))
+    graph = builder.build(num_vertices=len(nodes))
+    return graph, nodes
+
+
+def to_networkx(
+    graph: EdgeLabeledDigraph, *, label_attribute: str = "label"
+):
+    """Convert to a :class:`networkx.MultiDiGraph`.
+
+    Vertices become integers ``0..n-1``; labels are stored under
+    ``label_attribute`` as names when the graph has a label dictionary,
+    otherwise as integer ids.
+    """
+    networkx = _require_networkx()
+    result = networkx.MultiDiGraph()
+    result.add_nodes_from(range(graph.num_vertices))
+    for source, label, target in graph.edges():
+        value = (
+            graph.label_name(label)
+            if graph.label_dictionary is not None
+            else label
+        )
+        result.add_edge(source, target, **{label_attribute: value})
+    return result

@@ -1,0 +1,76 @@
+"""Path utilities: label sequences of concrete paths, random walks.
+
+A path is a vertex sequence plus the labels of its edges (the paper's
+vertex-edge alternating sequence).  These helpers validate concrete
+paths against a graph and extract label sequences — used by the
+workload generator (to seed satisfiable constraints) and extensively by
+the test suite as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+
+__all__ = ["is_path", "path_labels", "random_walk"]
+
+
+def is_path(
+    graph: EdgeLabeledDigraph,
+    vertices: Sequence[int],
+    labels: Sequence[int],
+) -> bool:
+    """Return True when consecutive vertices are joined by the given labels."""
+    if len(vertices) != len(labels) + 1:
+        return False
+    return all(
+        graph.has_edge(vertices[i], labels[i], vertices[i + 1])
+        for i in range(len(labels))
+    )
+
+
+def path_labels(
+    graph: EdgeLabeledDigraph, vertices: Sequence[int]
+) -> Tuple[int, ...]:
+    """Return one valid label sequence along ``vertices``.
+
+    When parallel edges with different labels exist, the smallest label
+    is chosen.  Raises :class:`GraphError` if any hop is missing.
+    """
+    labels: List[int] = []
+    for u, v in zip(vertices, vertices[1:]):
+        candidates = [label for label, target in graph.out_edges(u) if target == v]
+        if not candidates:
+            raise GraphError(f"no edge from {u} to {v}")
+        labels.append(min(candidates))
+    return tuple(labels)
+
+
+def random_walk(
+    graph: EdgeLabeledDigraph,
+    start: int,
+    length: int,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Take a uniform random directed walk of up to ``length`` edges.
+
+    Returns ``(vertices, labels)``; the walk stops early at a sink.
+    """
+    if not graph.has_vertex(start):
+        raise GraphError(f"unknown vertex: {start}")
+    rng = rng or random.Random()
+    vertices = [start]
+    labels: List[int] = []
+    current = start
+    for _ in range(length):
+        edges = graph.out_edges(current)
+        if not edges:
+            break
+        label, target = edges[rng.randrange(len(edges))]
+        labels.append(label)
+        vertices.append(target)
+        current = target
+    return tuple(vertices), tuple(labels)

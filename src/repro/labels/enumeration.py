@@ -1,0 +1,83 @@
+"""Counting and enumerating distinct minimum repeats.
+
+Section V-C of the paper bounds the index size with ``C = sum_i F(i)``
+where ``F(i)`` is the number of distinct minimum repeats of length ``i``
+over an alphabet of ``|L|`` labels, defined recursively as::
+
+    F(1) = |L|
+    F(i) = |L|^i - sum(F(j) for j a proper divisor of i)
+
+``F(i)`` is exactly the number of *primitive* sequences of length ``i``
+(every sequence of length ``i`` is ``P^z`` for a unique primitive ``P``
+whose length divides ``i``).  The classic closed form is the Moebius
+inversion ``F(i) = sum_{d | i} mu(d) * |L|^(i/d)``; we implement the
+paper's recursion and use the Moebius form in tests as a cross-check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.labels.minimum_repeat import is_primitive
+
+__all__ = [
+    "count_k_bounded_minimum_repeats",
+    "count_primitive_sequences",
+    "enumerate_primitive_sequences",
+]
+
+
+def _proper_divisors(n: int) -> Iterator[int]:
+    for d in range(1, n):
+        if n % d == 0:
+            yield d
+
+
+def count_primitive_sequences(alphabet_size: int, length: int) -> int:
+    """Return ``F(length)`` — distinct minimum repeats of exactly this length.
+
+    >>> count_primitive_sequences(2, 1), count_primitive_sequences(2, 2)
+    (2, 2)
+    """
+    if alphabet_size < 0 or length < 1:
+        raise ValueError("alphabet_size must be >= 0 and length >= 1")
+    memo: Dict[int, int] = {}
+
+    def f(i: int) -> int:
+        if i in memo:
+            return memo[i]
+        value = alphabet_size**i - sum(f(j) for j in _proper_divisors(i))
+        memo[i] = value
+        return value
+
+    return f(length)
+
+
+def count_k_bounded_minimum_repeats(alphabet_size: int, k: int) -> int:
+    """Return ``C = sum_{i=1..k} F(i)`` — the paper's index-size constant.
+
+    This is the number of distinct constraints ``L+`` with ``|L| <= k``
+    that an RLC index built with recursive bound ``k`` can answer.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return sum(count_primitive_sequences(alphabet_size, i) for i in range(1, k + 1))
+
+
+def enumerate_primitive_sequences(
+    alphabet: Sequence[int], max_length: int
+) -> Iterator[Tuple[int, ...]]:
+    """Yield every primitive sequence of length 1..max_length over ``alphabet``.
+
+    Enumeration order is by length, then lexicographic in the order the
+    alphabet is given.  Intended for exhaustive testing and workload
+    generation on small alphabets — the count grows as
+    ``O(|alphabet|^max_length)``.
+    """
+    if max_length < 0:
+        raise ValueError("max_length must be >= 0")
+    for length in range(1, max_length + 1):
+        for candidate in itertools.product(tuple(alphabet), repeat=length):
+            if is_primitive(candidate):
+                yield candidate

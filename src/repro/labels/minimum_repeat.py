@@ -1,0 +1,153 @@
+"""Minimum repeats and kernel/tail decompositions of label sequences.
+
+Terminology follows Section III-A of the paper.  A sequence ``L'`` is a
+*repeat* of ``L`` when ``L = (L')^z`` for an integer ``z >= 1``; the
+*minimum repeat* ``MR(L)`` is the shortest repeat and is unique
+(Lemma 1).  A sequence with ``MR(L) == L`` is called *primitive* here
+(the paper writes "L itself is a minimum repeat").
+
+The implementation uses the classic KMP failure-function connection:
+the shortest period of ``L`` is ``p = n - border(L)`` where ``border(L)``
+is the length of the longest proper border (prefix that is also a
+suffix); ``L`` is a power of ``L[:p]`` iff ``p`` divides ``n``.
+
+Sequences are plain tuples of hashable label atoms (the library uses
+``int`` labels internally, but nothing here requires that).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "border_array",
+    "is_primitive",
+    "kernel_decomposition",
+    "minimum_repeat",
+    "power_of",
+    "shortest_period",
+    "suffix_kernel_decomposition",
+]
+
+
+def border_array(seq: Sequence) -> Tuple[int, ...]:
+    """Return the KMP border (failure) array of ``seq``.
+
+    ``border_array(seq)[i]`` is the length of the longest proper border
+    of ``seq[: i + 1]``.  Runs in ``O(n)``.
+    """
+    n = len(seq)
+    border = [0] * n
+    j = 0
+    for i in range(1, n):
+        while j > 0 and seq[i] != seq[j]:
+            j = border[j - 1]
+        if seq[i] == seq[j]:
+            j += 1
+        border[i] = j
+    return tuple(border)
+
+
+def shortest_period(seq: Sequence) -> int:
+    """Return the shortest period ``p`` such that ``seq = (seq[:p])^z``.
+
+    If ``seq`` is primitive the result is ``len(seq)``.  The empty
+    sequence has period 0 by convention.
+    """
+    n = len(seq)
+    if n == 0:
+        return 0
+    # Closed forms for the lengths used by every paper experiment
+    # (k <= 4): the candidate periods are the divisors of n.
+    if n == 1:
+        return 1
+    if n == 2:
+        return 1 if seq[0] == seq[1] else 2
+    if n == 3:
+        return 1 if seq[0] == seq[1] == seq[2] else 3
+    if n == 4:
+        if seq[0] == seq[1] == seq[2] == seq[3]:
+            return 1
+        if seq[0] == seq[2] and seq[1] == seq[3]:
+            return 2
+        return 4
+    border = border_array(seq)
+    period = n - border[n - 1]
+    return period if n % period == 0 else n
+
+
+def minimum_repeat(seq: Sequence) -> tuple:
+    """Return ``MR(seq)`` — the unique minimum repeat (Lemma 1).
+
+    >>> minimum_repeat(("knows", "worksFor", "knows", "worksFor"))
+    ('knows', 'worksFor')
+    >>> minimum_repeat((1, 2, 3))
+    (1, 2, 3)
+    """
+    return tuple(seq[: shortest_period(seq)])
+
+
+def is_primitive(seq: Sequence) -> bool:
+    """Return True when ``seq`` equals its own minimum repeat.
+
+    The empty sequence is *not* primitive (an RLC constraint must
+    contain at least one label).
+    """
+    n = len(seq)
+    return n > 0 and shortest_period(seq) == n
+
+
+def power_of(seq: Sequence, base: Sequence) -> int:
+    """Return ``z >= 1`` when ``seq == base^z``, else 0.
+
+    >>> power_of((1, 2, 1, 2), (1, 2))
+    2
+    >>> power_of((1, 2, 1), (1, 2))
+    0
+    """
+    n, m = len(seq), len(base)
+    if m == 0 or n == 0 or n % m:
+        return 0
+    seq = tuple(seq)
+    base = tuple(base)
+    z = n // m
+    return z if seq == base * z else 0
+
+
+def kernel_decomposition(seq: Sequence) -> Optional[Tuple[tuple, tuple]]:
+    """Decompose ``seq`` as ``(kernel)^h . tail`` per Definition 3.
+
+    Returns ``(kernel, tail)`` where ``h >= 2``, the kernel is primitive
+    and the tail is the empty tuple or a proper prefix of the kernel —
+    or ``None`` when no such decomposition exists.  Lemma 2 proves the
+    kernel is unique when it exists, so the first (shortest) candidate
+    found is *the* kernel.
+    """
+    seq = tuple(seq)
+    n = len(seq)
+    for m in range(1, n // 2 + 1):
+        candidate = seq[:m]
+        if not is_primitive(candidate):
+            continue
+        if all(seq[i] == candidate[i % m] for i in range(m, n)):
+            tail = seq[(n // m) * m :]
+            return candidate, tail
+    return None
+
+
+def suffix_kernel_decomposition(seq: Sequence) -> Optional[Tuple[tuple, tuple]]:
+    """Decompose ``seq`` as ``tail . (kernel)^h`` (suffix form).
+
+    The mirror image of :func:`kernel_decomposition`, used by *backward*
+    kernel-based searches, which extend label sequences on the left: a
+    suffix of a power ``L^z`` has the shape
+    ``(proper suffix of L) . L^h``.  Returns ``(kernel, tail)`` where the
+    kernel is primitive, ``h >= 2`` and the tail is empty or a proper
+    *suffix* of the kernel, or ``None``.  Uniqueness follows from Lemma 2
+    applied to the reversed sequence.
+    """
+    reversed_result = kernel_decomposition(tuple(reversed(tuple(seq))))
+    if reversed_result is None:
+        return None
+    kernel_rev, tail_rev = reversed_result
+    return tuple(reversed(kernel_rev)), tuple(reversed(tail_rev))

@@ -1,0 +1,140 @@
+"""Label dictionaries and human-friendly constraint formatting.
+
+Graphs store labels as dense integers for speed; users think in label
+names such as ``"knows"`` or ``"debits"``.  :class:`LabelDictionary`
+maps between the two.  :func:`parse_constraint` and
+:func:`format_constraint` translate between the paper's textual notation
+``(debits, credits)+`` and internal integer tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import GraphError, QueryError
+
+__all__ = ["LabelDictionary", "format_constraint", "parse_constraint"]
+
+Label = Union[int, str]
+
+
+class LabelDictionary:
+    """Bidirectional mapping between label names and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0, matching the
+    order in which edges are added to a :class:`~repro.graph.GraphBuilder`.
+
+    >>> d = LabelDictionary()
+    >>> d.add("knows"), d.add("worksFor"), d.add("knows")
+    (0, 1, 0)
+    >>> d.name_of(1)
+    'worksFor'
+    """
+
+    __slots__ = ("_name_to_id", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Return the id of ``name``, assigning a fresh one if unseen."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._names)
+        self._name_to_id[name] = new_id
+        self._names.append(name)
+        return new_id
+
+    def id_of(self, name: str) -> int:
+        """Return the id of a known label name (raises GraphError if unknown)."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise GraphError(f"unknown label name: {name!r}") from None
+
+    def name_of(self, label_id: int) -> str:
+        """Return the name of a known label id (raises GraphError if unknown)."""
+        if 0 <= label_id < len(self._names):
+            return self._names[label_id]
+        raise GraphError(f"unknown label id: {label_id!r}")
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelDictionary):
+            return NotImplemented
+        return self._names == other._names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LabelDictionary({self._names!r})"
+
+    def encode(self, sequence: Sequence[Label]) -> Tuple[int, ...]:
+        """Translate a sequence of names (or pass-through ids) to an id tuple."""
+        encoded = []
+        for atom in sequence:
+            if isinstance(atom, str):
+                encoded.append(self.id_of(atom))
+            elif isinstance(atom, int):
+                if not 0 <= atom < len(self._names):
+                    raise GraphError(f"unknown label id: {atom!r}")
+                encoded.append(atom)
+            else:
+                raise GraphError(f"label must be str or int, got {type(atom).__name__}")
+        return tuple(encoded)
+
+    def decode(self, sequence: Sequence[int]) -> Tuple[str, ...]:
+        """Translate a sequence of ids back to label names."""
+        return tuple(self.name_of(label_id) for label_id in sequence)
+
+
+def parse_constraint(text: str) -> Tuple[Tuple[str, ...], str]:
+    """Parse the paper's textual constraint notation.
+
+    Accepts ``"(a, b)+"``, ``"(a b)*"``, ``"a+"`` and returns
+    ``(labels, operator)`` where operator is ``"+"`` or ``"*"``.
+
+    >>> parse_constraint("(debits, credits)+")
+    (('debits', 'credits'), '+')
+    >>> parse_constraint("knows*")
+    (('knows',), '*')
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise QueryError("empty constraint")
+    operator = stripped[-1]
+    if operator not in "+*":
+        raise QueryError(f"constraint must end with '+' or '*': {text!r}")
+    body = stripped[:-1].strip()
+    if body.startswith("(") and body.endswith(")"):
+        body = body[1:-1]
+    labels = tuple(part for part in body.replace(",", " ").split() if part)
+    if not labels:
+        raise QueryError(f"constraint has no labels: {text!r}")
+    return labels, operator
+
+
+def format_constraint(labels: Sequence[Label], operator: str = "+") -> str:
+    """Format a label sequence in the paper's notation.
+
+    >>> format_constraint(("debits", "credits"))
+    '(debits, credits)+'
+    >>> format_constraint(("knows",))
+    'knows+'
+    """
+    if operator not in "+*":
+        raise QueryError(f"operator must be '+' or '*', got {operator!r}")
+    rendered = [str(label) for label in labels]
+    if len(rendered) == 1:
+        return f"{rendered[0]}{operator}"
+    return f"({', '.join(rendered)}){operator}"

@@ -1,0 +1,93 @@
+"""The RLC query model shared by the index, the baselines and workloads.
+
+Definition 1 of the paper: an RLC query is a triple ``(s, t, L+)`` over
+an edge-labeled digraph where ``L`` is a *primitive* label sequence
+(``L = MR(L)``) of length at most the recursive bound ``k``; the answer
+is true iff some path from ``s`` to ``t`` has label sequence ``L^z``
+for some ``z >= 1``.
+
+:class:`RlcQuery` is the value object used across the library;
+:func:`validate_rlc_query` centralizes the error taxonomy (unknown
+vertices, empty constraints, non-primitive constraints, constraints
+longer than an index's ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import CapabilityError, NonPrimitiveConstraintError, QueryError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.labels.minimum_repeat import is_primitive
+from repro.labels.sequences import format_constraint
+
+__all__ = ["RlcQuery", "validate_rlc_query"]
+
+
+@dataclass(frozen=True)
+class RlcQuery:
+    """An RLC query ``(source, target, labels+)`` with integer label ids.
+
+    ``expected`` optionally carries the ground-truth answer (workload
+    files store it so benchmarks can verify every engine's output).
+    """
+
+    source: int
+    target: int
+    labels: Tuple[int, ...]
+    expected: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", tuple(self.labels))
+
+    @property
+    def recursive_length(self) -> int:
+        """Number of concatenated labels ``|L|`` under the Kleene plus."""
+        return len(self.labels)
+
+    def constraint_text(self) -> str:
+        """The constraint in the paper's notation, e.g. ``(0, 1)+``."""
+        return format_constraint(self.labels)
+
+    def __str__(self) -> str:
+        return f"Q({self.source}, {self.target}, {self.constraint_text()})"
+
+
+def validate_rlc_query(
+    graph: EdgeLabeledDigraph,
+    source: int,
+    target: int,
+    labels: Sequence[int],
+    *,
+    k: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Validate an RLC query, returning the label tuple.
+
+    Raises:
+        QueryError: unknown vertices, empty constraint, unknown labels.
+        NonPrimitiveConstraintError: ``L != MR(L)`` (out of scope per
+            Section III-B — it adds an even-path-style length constraint).
+        CapabilityError: ``|L| > k`` for the supplied index bound.
+    """
+    if not graph.has_vertex(source):
+        raise QueryError(f"unknown source vertex: {source}")
+    if not graph.has_vertex(target):
+        raise QueryError(f"unknown target vertex: {target}")
+    label_tuple = tuple(labels)
+    if not label_tuple:
+        raise QueryError("RLC constraint must contain at least one label")
+    for label in label_tuple:
+        if not isinstance(label, int) or not 0 <= label < graph.num_labels:
+            raise QueryError(f"unknown label id: {label!r}")
+    if not is_primitive(label_tuple):
+        raise NonPrimitiveConstraintError(
+            f"constraint {format_constraint(label_tuple)} is not a minimum repeat; "
+            "RLC queries require L = MR(L)"
+        )
+    if k is not None and len(label_tuple) > k:
+        raise CapabilityError(
+            f"constraint has {len(label_tuple)} labels but the index was built "
+            f"with recursive k={k}"
+        )
+    return label_tuple

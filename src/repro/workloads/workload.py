@@ -1,0 +1,116 @@
+"""The :class:`QueryWorkload` container and its text serialization.
+
+A workload is two query sets — true-queries and false-queries — over
+one graph and one recursive bound, exactly the unit of evaluation used
+throughout Section VI.  The text format is one query per line::
+
+    source target l1,l2,...  true|false
+
+so workloads can be pinned, diffed and shared between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple, Union
+
+from repro.errors import SerializationError
+from repro.queries import RlcQuery
+
+__all__ = ["QueryWorkload", "load_workload", "save_workload"]
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class QueryWorkload:
+    """True/false RLC query sets for one graph and recursive bound."""
+
+    k: int
+    true_queries: List[RlcQuery] = field(default_factory=list)
+    false_queries: List[RlcQuery] = field(default_factory=list)
+    graph_name: str = ""
+
+    def __post_init__(self) -> None:
+        for query in self.true_queries:
+            if query.expected is False:
+                raise SerializationError(f"{query} marked false in the true set")
+        for query in self.false_queries:
+            if query.expected is True:
+                raise SerializationError(f"{query} marked true in the false set")
+
+    def __iter__(self) -> Iterator[RlcQuery]:
+        yield from self.true_queries
+        yield from self.false_queries
+
+    def __len__(self) -> int:
+        return len(self.true_queries) + len(self.false_queries)
+
+    def labeled_queries(self) -> Iterator[Tuple[RlcQuery, bool]]:
+        """Yield ``(query, expected_answer)`` pairs."""
+        for query in self.true_queries:
+            yield query, True
+        for query in self.false_queries:
+            yield query, False
+
+    def constraint_lengths(self) -> Tuple[int, ...]:
+        """Distinct ``|L|`` values present, sorted."""
+        return tuple(sorted({q.recursive_length for q in self}))
+
+
+def save_workload(workload: QueryWorkload, path: PathLike) -> None:
+    """Write the workload in the one-query-per-line text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            f"# rlc-workload k={workload.k} graph={workload.graph_name or '-'} "
+            f"true={len(workload.true_queries)} false={len(workload.false_queries)}\n"
+        )
+        for query, expected in workload.labeled_queries():
+            labels = ",".join(str(label) for label in query.labels)
+            handle.write(
+                f"{query.source} {query.target} {labels} "
+                f"{'true' if expected else 'false'}\n"
+            )
+
+
+def load_workload(path: PathLike) -> QueryWorkload:
+    """Read a workload written by :func:`save_workload`."""
+    k = 0
+    graph_name = ""
+    true_queries: List[RlcQuery] = []
+    false_queries: List[RlcQuery] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("#"):
+                for token in stripped[1:].split():
+                    if token.startswith("k="):
+                        k = int(token[2:])
+                    elif token.startswith("graph=") and token[6:] != "-":
+                        graph_name = token[6:]
+                continue
+            parts = stripped.split()
+            if len(parts) != 4 or parts[3] not in ("true", "false"):
+                raise SerializationError(
+                    f"{path}:{line_number}: expected 'source target labels bool', "
+                    f"got {stripped!r}"
+                )
+            try:
+                source, target = int(parts[0]), int(parts[1])
+                labels = tuple(int(token) for token in parts[2].split(","))
+            except ValueError as exc:
+                raise SerializationError(f"{path}:{line_number}: {exc}") from exc
+            expected = parts[3] == "true"
+            query = RlcQuery(source, target, labels, expected=expected)
+            (true_queries if expected else false_queries).append(query)
+    if k == 0:
+        k = max((q.recursive_length for q in true_queries + false_queries), default=1)
+    return QueryWorkload(
+        k=k,
+        true_queries=true_queries,
+        false_queries=false_queries,
+        graph_name=graph_name,
+    )

@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import paper_figure1, paper_figure2
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The Fig. 1 social/professional/financial network."""
+    return paper_figure1()
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    """The Fig. 2 running-example graph (Table II's subject)."""
+    return paper_figure2()
+
+
+@pytest.fixture(scope="session")
+def fig2_index():
+    """The RLC index of Fig. 2 with k=2 (shared; the index is immutable)."""
+    from repro.core import build_rlc_index
+
+    return build_rlc_index(paper_figure2(), 2)

@@ -1,0 +1,99 @@
+"""Shared test utilities: graph factories and independent oracles."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.digraph import EdgeLabeledDigraph
+
+__all__ = [
+    "brute_force_rlc",
+    "enumerate_label_sequences",
+    "random_graph",
+]
+
+
+def random_graph(
+    seed: int,
+    *,
+    max_vertices: int = 9,
+    max_labels: int = 3,
+    min_labels: int = 1,
+    density: Tuple[float, float] = (0.5, 3.0),
+    allow_self_loops: bool = True,
+) -> EdgeLabeledDigraph:
+    """A small random multigraph for cross-validation tests."""
+    rng = random.Random(seed)
+    n = rng.randint(2, max_vertices)
+    num_labels = rng.randint(min_labels, max_labels)
+    edges: Set[Tuple[int, int, int]] = set()
+    target_edges = int(n * rng.uniform(*density))
+    for _ in range(target_edges):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if not allow_self_loops and u == v:
+            continue
+        edges.add((u, rng.randrange(num_labels), v))
+    return EdgeLabeledDigraph(n, sorted(edges), num_labels=num_labels)
+
+
+def brute_force_rlc(
+    graph: EdgeLabeledDigraph,
+    source: int,
+    target: int,
+    labels: Sequence[int],
+) -> bool:
+    """Path-enumeration oracle, independent of the automaton machinery.
+
+    Explores all walks from ``source`` whose label sequence follows
+    ``labels`` cyclically, memoizing ``(vertex, position)`` states.  A
+    walk of ``z * |labels|`` edges ending at ``target`` witnesses the
+    query; the product space has at most ``|V| * |labels|`` states, so
+    the memoized search is exact.
+    """
+    m = len(labels)
+    seen: Set[Tuple[int, int]] = set()
+    stack: List[Tuple[int, int]] = [(source, 0)]
+    seen.add((source, 0))
+    while stack:
+        vertex, position = stack.pop()
+        expected = labels[position]
+        for label, neighbor in graph.out_edges(vertex):
+            if label != expected:
+                continue
+            next_position = (position + 1) % m
+            if neighbor == target and next_position == 0:
+                return True
+            state = (neighbor, next_position)
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    return False
+
+
+def enumerate_label_sequences(
+    graph: EdgeLabeledDigraph, source: int, max_length: int
+) -> Set[Tuple[int, Tuple[int, ...]]]:
+    """All (endpoint, label sequence) pairs for walks up to ``max_length``."""
+    results: Set[Tuple[int, Tuple[int, ...]]] = set()
+    frontier: List[Tuple[int, Tuple[int, ...]]] = [(source, ())]
+    for _ in range(max_length):
+        next_frontier: List[Tuple[int, Tuple[int, ...]]] = []
+        for vertex, sequence in frontier:
+            for label, neighbor in graph.out_edges(vertex):
+                extended = sequence + (label,)
+                pair = (neighbor, extended)
+                if pair not in results:
+                    results.add(pair)
+                    next_frontier.append(pair)
+        frontier = next_frontier
+    return results
+
+
+def all_primitive_constraints(num_labels: int, k: int) -> List[Tuple[int, ...]]:
+    """Every primitive label sequence of length <= k (test convenience)."""
+    from repro.labels.enumeration import enumerate_primitive_sequences
+
+    return list(enumerate_primitive_sequences(range(num_labels), k))

@@ -1,0 +1,127 @@
+"""Tests for NFA compilation (Thompson and the cyclic constraint DFA)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.automata.compile import compile_regex, constraint_automaton
+from repro.automata.regex import Label, parse_regex, rlc_expression
+from repro.errors import QueryError
+from repro.labels.minimum_repeat import minimum_repeat
+
+
+class TestConstraintAutomaton:
+    @pytest.mark.parametrize("labels", [(0,), (0, 1), (0, 1, 2), (0, 0, 1)])
+    def test_accepts_exactly_powers(self, labels):
+        nfa = constraint_automaton(labels)
+        for length in range(0, 9):
+            for seq in itertools.product(range(3), repeat=length):
+                expected = (
+                    length > 0
+                    and length % len(labels) == 0
+                    and seq == labels * (length // len(labels))
+                )
+                assert nfa.accepts_sequence(seq) == expected, seq
+
+    def test_never_accepts_empty_for_plus(self):
+        assert not constraint_automaton((0,)).accepts_sequence(())
+
+    def test_star_flag_sets_empty(self):
+        assert constraint_automaton((0,), star=True).accepts_empty
+
+    def test_state_count(self):
+        assert constraint_automaton((0, 1, 2)).num_states == 4
+
+    def test_deterministic(self):
+        nfa = constraint_automaton((0, 1))
+        for state in range(nfa.num_states):
+            for label in nfa.outgoing_labels(state):
+                assert len(nfa.successors(state, label)) == 1
+
+    def test_empty_constraint_rejected(self):
+        with pytest.raises(QueryError):
+            constraint_automaton(())
+
+    def test_string_labels_rejected(self):
+        with pytest.raises(QueryError, match="integer"):
+            constraint_automaton(("a",))
+
+    def test_matches_thompson_equivalent(self):
+        for labels in [(0,), (1, 0), (0, 1, 2), (2, 2, 0, 1)]:
+            direct = constraint_automaton(labels)
+            thompson = compile_regex(rlc_expression(labels))
+            for length in range(0, 2 * len(labels) + 3):
+                for seq in itertools.product(range(3), repeat=length):
+                    assert direct.accepts_sequence(seq) == thompson.accepts_sequence(
+                        seq
+                    ), (labels, seq)
+
+
+class TestCompileRegex:
+    def test_plus_not_accepting_empty(self):
+        nfa = compile_regex(parse_regex("(0 1)+"))
+        assert not nfa.accepts_empty
+        assert not nfa.accepts_sequence(())
+
+    def test_star_accepting_empty(self):
+        nfa = compile_regex(parse_regex("(0 1)*"))
+        assert nfa.accepts_empty
+
+    def test_label_encoder(self):
+        nfa = compile_regex(
+            parse_regex("(knows worksFor)+"),
+            label_encoder={"knows": 0, "worksFor": 1}.__getitem__,
+        )
+        assert nfa.accepts_sequence((0, 1))
+        assert not nfa.accepts_sequence((1, 0))
+
+    def test_string_labels_without_encoder_rejected(self):
+        with pytest.raises(QueryError, match="label_encoder"):
+            compile_regex(Label("knows"))
+
+    def test_unreachable_states_removed(self):
+        # (0|1) 2 — compact automaton, all states reachable from start.
+        nfa = compile_regex(parse_regex("(0 | 1) 2"))
+        reachable = set(nfa.start_states)
+        frontier = list(nfa.start_states)
+        while frontier:
+            state = frontier.pop()
+            for label in nfa.outgoing_labels(state):
+                for nxt in nfa.successors(state, label):
+                    if nxt not in reachable:
+                        reachable.add(nxt)
+                        frontier.append(nxt)
+        assert reachable == set(range(nfa.num_states))
+
+    def test_alternation_of_pluses(self):
+        nfa = compile_regex(parse_regex("0+ | 1+"))
+        assert nfa.accepts_sequence((0, 0))
+        assert nfa.accepts_sequence((1,))
+        assert not nfa.accepts_sequence((0, 1))
+
+    def test_q4_shape(self):
+        nfa = compile_regex(parse_regex("0+ 1+"))
+        assert nfa.accepts_sequence((0, 1))
+        assert nfa.accepts_sequence((0, 0, 1, 1, 1))
+        assert not nfa.accepts_sequence((0,))
+        assert not nfa.accepts_sequence((1, 0))
+
+    def test_non_primitive_power_language(self):
+        # (0 0)+ accepts only even powers of 0 — the fragment the RLC
+        # index excludes but automata must still handle for baselines.
+        nfa = compile_regex(parse_regex("(0 0)+"))
+        assert nfa.accepts_sequence((0, 0))
+        assert not nfa.accepts_sequence((0, 0, 0))
+        assert nfa.accepts_sequence((0, 0, 0, 0))
+
+
+class TestMrConnection:
+    def test_constraint_language_is_mr_fibre(self):
+        """L+ accepts exactly the sequences whose MR is L (L primitive)."""
+        labels = (0, 1)
+        nfa = constraint_automaton(labels)
+        for length in range(1, 9):
+            for seq in itertools.product(range(2), repeat=length):
+                assert nfa.accepts_sequence(seq) == (minimum_repeat(seq) == labels)

@@ -1,0 +1,135 @@
+"""Tests for the epsilon-free NFA, cross-checked against Python's re."""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.compile import compile_regex, constraint_automaton
+from repro.automata.nfa import Nfa
+from repro.automata.regex import parse_regex
+from repro.errors import QueryError
+
+
+def re_pattern(text: str) -> re.Pattern:
+    """Translate our regex notation to a Python re over letters a, b, c...
+
+    Label id i becomes chr(ord('a') + i); whitespace concatenation
+    becomes adjacency.
+    """
+    expr = parse_regex(text)
+
+    def render(node):
+        from repro.automata.regex import Alternation, Concat, Label, Plus, Star
+
+        if isinstance(node, Label):
+            return chr(ord("a") + int(node.atom))
+        if isinstance(node, Concat):
+            return "".join(f"(?:{render(p)})" for p in node.parts)
+        if isinstance(node, Alternation):
+            return "|".join(f"(?:{render(p)})" for p in node.options)
+        if isinstance(node, Plus):
+            return f"(?:{render(node.inner)})+"
+        if isinstance(node, Star):
+            return f"(?:{render(node.inner)})*"
+        raise AssertionError(node)
+
+    return re.compile(f"^(?:{render(expr)})$")
+
+
+def encode(sequence) -> str:
+    return "".join(chr(ord("a") + label) for label in sequence)
+
+
+REGEXES = [
+    "0+",
+    "(0 1)+",
+    "(0 1 2)+",
+    "0+ 1+",
+    "(0 | 1)+",
+    "0 1* 2",
+    "(0 1)* 2+",
+    "((0 1)+ | 2)+",
+    "0* 1* 2*",
+    "(0 0 1)+",
+]
+
+
+class TestAcceptanceAgainstRe:
+    @pytest.mark.parametrize("text", REGEXES)
+    def test_all_sequences_up_to_length_6(self, text):
+        nfa = compile_regex(parse_regex(text))
+        pattern = re_pattern(text)
+        for length in range(0, 7):
+            for seq in itertools.product(range(3), repeat=length):
+                expected = pattern.match(encode(seq)) is not None
+                assert nfa.accepts_sequence(seq) == expected, (text, seq)
+
+    @given(
+        st.sampled_from(REGEXES),
+        st.lists(st.integers(0, 2), max_size=12),
+    )
+    def test_random_sequences(self, text, seq):
+        nfa = compile_regex(parse_regex(text))
+        expected = re_pattern(text).match(encode(seq)) is not None
+        assert nfa.accepts_sequence(tuple(seq)) == expected
+
+
+class TestReversed:
+    @pytest.mark.parametrize("text", REGEXES)
+    def test_reversed_accepts_reversed_sequences(self, text):
+        nfa = compile_regex(parse_regex(text))
+        reversed_nfa = nfa.reversed()
+        for length in range(0, 5):
+            for seq in itertools.product(range(3), repeat=length):
+                assert reversed_nfa.accepts_sequence(tuple(reversed(seq))) == (
+                    nfa.accepts_sequence(seq)
+                )
+
+    def test_double_reverse_is_identity_language(self):
+        nfa = compile_regex(parse_regex("(0 1)+ 2"))
+        double = nfa.reversed().reversed()
+        for length in range(0, 5):
+            for seq in itertools.product(range(3), repeat=length):
+                assert double.accepts_sequence(seq) == nfa.accepts_sequence(seq)
+
+
+class TestNfaBasics:
+    def test_step(self):
+        nfa = constraint_automaton((0, 1))
+        after = nfa.step(nfa.start_states, 0)
+        assert after == frozenset({1})
+        assert nfa.step(after, 1) == frozenset({0})
+
+    def test_step_dead(self):
+        nfa = constraint_automaton((0, 1))
+        assert nfa.step(nfa.start_states, 1) == frozenset()
+
+    def test_outgoing_labels(self):
+        nfa = constraint_automaton((0, 1))
+        assert set(nfa.alphabet()) == {0, 1}
+
+    def test_is_accepting(self):
+        nfa = constraint_automaton((0,))
+        assert nfa.is_accepting({0})
+        assert not nfa.is_accepting(nfa.start_states)
+
+    def test_validation_bad_state(self):
+        with pytest.raises(QueryError):
+            Nfa(1, [5], [0], [{}])
+
+    def test_validation_transition_count(self):
+        with pytest.raises(QueryError):
+            Nfa(2, [0], [1], [{}])
+
+    def test_negative_states(self):
+        with pytest.raises(QueryError):
+            Nfa(-1, [], [], [])
+
+    def test_successors_missing_label(self):
+        nfa = constraint_automaton((0,))
+        assert nfa.successors(0, 99) == ()

@@ -1,0 +1,129 @@
+"""Tests for the regex AST and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.regex import (
+    Alternation,
+    Concat,
+    Label,
+    Plus,
+    Star,
+    parse_regex,
+    rlc_expression,
+)
+from repro.errors import QueryError
+
+
+class TestAst:
+    def test_label_str(self):
+        assert str(Label("knows")) == "knows"
+
+    def test_concat_str(self):
+        assert str(Concat((Label("a"), Label("b")))) == "a b"
+
+    def test_plus_wraps_concat(self):
+        assert str(Plus(Concat((Label("a"), Label("b"))))) == "(a b)+"
+
+    def test_alternation_str(self):
+        assert str(Alternation((Label("a"), Label("b")))) == "a | b"
+
+    def test_matches_empty(self):
+        assert not Label("a").matches_empty()
+        assert Star(Label("a")).matches_empty()
+        assert not Plus(Label("a")).matches_empty()
+        assert Plus(Star(Label("a"))).matches_empty()
+        assert not Concat((Label("a"), Star(Label("b")))).matches_empty()
+        assert Concat((Star(Label("a")), Star(Label("b")))).matches_empty()
+        assert Alternation((Label("a"), Star(Label("b")))).matches_empty()
+
+    def test_labels_deduplicated_in_order(self):
+        node = Concat((Label("b"), Label("a"), Label("b")))
+        assert node.labels() == ("b", "a")
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(QueryError):
+            Concat(())
+
+    def test_empty_alternation_rejected(self):
+        with pytest.raises(QueryError):
+            Alternation(())
+
+    def test_nodes_hashable(self):
+        assert hash(Plus(Label("a"))) == hash(Plus(Label("a")))
+
+
+class TestRlcExpression:
+    def test_single_label(self):
+        assert rlc_expression(("knows",)) == Plus(Label("knows"))
+
+    def test_concatenation(self):
+        expr = rlc_expression((0, 1))
+        assert expr == Plus(Concat((Label(0), Label(1))))
+
+    def test_star(self):
+        assert rlc_expression(("a",), "*") == Star(Label("a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            rlc_expression(())
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            rlc_expression(("a",), "?")
+
+
+class TestParser:
+    def test_paper_notation(self):
+        assert parse_regex("(debits, credits)+") == Plus(
+            Concat((Label("debits"), Label("credits")))
+        )
+
+    def test_q4_concatenation_of_pluses(self):
+        assert parse_regex("a+ b+") == Concat((Plus(Label("a")), Plus(Label("b"))))
+
+    def test_alternation_precedence(self):
+        # Concatenation binds tighter than alternation.
+        assert parse_regex("a b | c") == Alternation(
+            (Concat((Label("a"), Label("b"))), Label("c"))
+        )
+
+    def test_postfix_binds_tightest(self):
+        assert parse_regex("a b+") == Concat((Label("a"), Plus(Label("b"))))
+
+    def test_nested_parens(self):
+        expr = parse_regex("((a b)+ c)*")
+        assert expr == Star(
+            Concat((Plus(Concat((Label("a"), Label("b")))), Label("c")))
+        )
+
+    def test_double_postfix(self):
+        assert parse_regex("a+*") == Star(Plus(Label("a")))
+
+    def test_integer_labels(self):
+        assert parse_regex("(0 1)+") == Plus(Concat((Label(0), Label(1))))
+
+    def test_commas_are_whitespace(self):
+        assert parse_regex("a,b") == parse_regex("a b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_regex("   ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(QueryError):
+            parse_regex("(a b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_regex("a )")
+
+    def test_bad_character(self):
+        with pytest.raises(QueryError):
+            parse_regex("a & b")
+
+    def test_round_trip_through_str(self):
+        for text in ["(a b)+", "a+ b+", "a | b c", "((x y)* z)+"]:
+            expr = parse_regex(text)
+            assert parse_regex(str(expr)) == expr

@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import TIMED_OUT
+from repro.bench.plotting import ascii_plot, series_from_table
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"a": [(1, 10), (2, 20), (3, 30)]},
+            title="demo",
+            width=30,
+            height=8,
+        )
+        assert "demo" in text
+        assert "o=a" in text
+        assert "o" in text
+
+    def test_log_scale_drops_nonpositive(self):
+        text = ascii_plot(
+            {"a": [(1, 0), (2, 100)]},
+            log_y=True,
+            width=20,
+            height=6,
+        )
+        assert "o=a" in text
+
+    def test_multiple_series_markers(self):
+        text = ascii_plot(
+            {"first": [(1, 1), (2, 2)], "second": [(1, 2), (2, 1)]},
+            width=20,
+            height=6,
+        )
+        assert "o=first" in text and "x=second" in text
+
+    def test_empty_series(self):
+        assert "no plottable data" in ascii_plot({}, title="t")
+        assert "no plottable data" in ascii_plot({"a": [(1, None)]})
+
+    def test_constant_series(self):
+        text = ascii_plot({"a": [(1, 5), (2, 5)]}, width=20, height=5)
+        assert "o" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(
+            {"a": [(1, 5)]}, x_label="|V|", y_label="seconds", log_y=True
+        )
+        assert "x: |V|" in text and "y: seconds (log)" in text
+
+    def test_single_point(self):
+        text = ascii_plot({"a": [(3, 7)]}, width=12, height=4)
+        assert text.count("o") >= 1
+
+
+class TestSeriesFromTable:
+    ROWS = [
+        {"family": "ER", "vertices": 100, "seconds": 1.0},
+        {"family": "ER", "vertices": 300, "seconds": 4.0},
+        {"family": "BA", "vertices": 300, "seconds": 6.0},
+        {"family": "BA", "vertices": 100, "seconds": 2.0},
+        {"family": "BA", "vertices": 200, "seconds": TIMED_OUT},
+        {"family": "BA", "vertices": 400, "seconds": None},
+    ]
+
+    def test_grouping_and_sorting(self):
+        series = series_from_table(
+            self.ROWS, x="vertices", y="seconds", group_by="family"
+        )
+        assert series["ER"] == [(100.0, 1.0), (300.0, 4.0)]
+        assert series["BA"] == [(100.0, 2.0), (300.0, 6.0)]
+
+    def test_no_grouping(self):
+        series = series_from_table(self.ROWS[:2], x="vertices", y="seconds")
+        assert list(series) == ["seconds"]
+
+    def test_timeouts_skipped(self):
+        series = series_from_table(
+            self.ROWS, x="vertices", y="seconds", group_by="family"
+        )
+        xs = [x for x, _ in series["BA"]]
+        assert 200.0 not in xs and 400.0 not in xs
+
+    def test_plot_integration(self):
+        series = series_from_table(
+            self.ROWS, x="vertices", y="seconds", group_by="family"
+        )
+        assert "o=ER" in ascii_plot(series, log_y=True)

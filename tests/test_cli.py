@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import paper_figure2
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.txt"
+    write_edge_list(paper_figure2(), path)
+    return path
+
+
+class TestStats:
+    def test_prints_statistics(self, fig2_file, capsys):
+        assert main(["stats", str(fig2_file)]) == 0
+        out = capsys.readouterr().out
+        assert "|V|=" in out and "label histogram" in out
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, fig2_file, tmp_path, capsys):
+        index_path = tmp_path / "fig2.npz"
+        assert main(["build", str(fig2_file), "-k", "2", "-o", str(index_path)]) == 0
+        assert "26 entries" in capsys.readouterr().out
+
+        # Q1(v3, v6, (l2 l1)+) — true, exit code 0.
+        assert main(["query", str(index_path), "2", "5", "(l2, l1)+"]) == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+        # Q3(v1, v3, (l1)+) — false, exit code 1.
+        assert main(["query", str(index_path), "0", "2", "l1+"]) == 1
+        assert capsys.readouterr().out.strip() == "false"
+
+    def test_query_star(self, fig2_file, tmp_path, capsys):
+        index_path = tmp_path / "fig2.npz"
+        main(["build", str(fig2_file), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "5", "5", "l1*"]) == 0
+
+    def test_query_integer_labels(self, fig2_file, tmp_path, capsys):
+        index_path = tmp_path / "fig2.npz"
+        main(["build", str(fig2_file), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "2", "5", "(1, 0)+"]) == 0
+
+    def test_build_lazy_strategy(self, fig2_file, tmp_path):
+        index_path = tmp_path / "lazy.npz"
+        assert (
+            main(
+                [
+                    "build", str(fig2_file), "-o", str(index_path),
+                    "--strategy", "lazy", "--ordering", "degree",
+                ]
+            )
+            == 0
+        )
+
+
+class TestWorkloadRoundTrip:
+    def test_generate_and_run(self, tmp_path, capsys):
+        from repro.graph import datasets
+        from repro.graph.io import save_graph_npz
+
+        graph_path = tmp_path / "ad.npz"
+        save_graph_npz(datasets.load_dataset("AD", scale=0.2), graph_path)
+        workload_path = tmp_path / "w.txt"
+        index_path = tmp_path / "i.npz"
+
+        assert (
+            main(
+                [
+                    "workload", str(graph_path), "-k", "2",
+                    "--true-queries", "10", "--false-queries", "10",
+                    "-o", str(workload_path),
+                ]
+            )
+            == 0
+        )
+        assert main(["build", str(graph_path), "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(index_path), str(workload_path)]) == 0
+        assert "0 wrong answers" in capsys.readouterr().out
+
+
+class TestDataset:
+    def test_materialize_npz(self, tmp_path, capsys):
+        out = tmp_path / "tw.npz"
+        assert main(["dataset", "TW", "--scale", "0.1", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_materialize_text(self, tmp_path):
+        out = tmp_path / "tw.edges"
+        assert main(["dataset", "TW", "--scale", "0.1", "-o", str(out)]) == 0
+        assert out.read_text().startswith("#")

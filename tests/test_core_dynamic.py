@@ -1,0 +1,128 @@
+"""Tests for the dynamic (insert-only) RLC index wrapper."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import DynamicRlcIndex, build_rlc_index
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+
+from tests.helpers import all_primitive_constraints, brute_force_rlc, random_graph
+
+
+class TestBasics:
+    @pytest.fixture
+    def dyn(self, fig2):
+        return DynamicRlcIndex.build(fig2, k=2)
+
+    def test_matches_static_before_insertions(self, dyn, fig2_index):
+        for s, t in itertools.product(range(6), repeat=2):
+            for labels in all_primitive_constraints(3, 2):
+                assert dyn.query(s, t, labels) == fig2_index.query(s, t, labels)
+
+    def test_insertion_changes_answer(self, dyn):
+        # v6 is a sink in Fig. 2; l1 edge v6 -> v1 creates new paths.
+        assert dyn.query(5, 0, (0,)) is False
+        dyn.insert_edge(5, 0, 0)
+        assert dyn.query(5, 0, (0,)) is True
+        assert dyn.pending_insertions == 1
+
+    def test_duplicate_insert_ignored(self, dyn):
+        dyn.insert_edge(0, 0, 1)  # already in the base graph
+        assert dyn.pending_insertions == 0
+        dyn.insert_edge(5, 0, 0)
+        dyn.insert_edge(5, 0, 0)
+        assert dyn.pending_insertions == 1
+
+    def test_star(self, dyn):
+        assert dyn.query_star(5, 5, (0,)) is True
+
+    def test_validation(self, dyn):
+        with pytest.raises(GraphError):
+            dyn.insert_edge(0, 0, 99)
+        with pytest.raises(GraphError):
+            dyn.insert_edge(0, 9, 1)
+
+    def test_deletion_rejected(self, dyn):
+        with pytest.raises(GraphError, match="rebuild"):
+            dyn.delete_edge(0, 0, 1)
+
+    def test_bad_threshold(self, fig2, fig2_index):
+        with pytest.raises(GraphError):
+            DynamicRlcIndex(fig2, fig2_index, rebuild_threshold=0)
+
+
+class TestRebuild:
+    def test_threshold_triggers_rebuild(self, fig2):
+        dyn = DynamicRlcIndex.build(fig2, k=2, rebuild_threshold=0.1)
+        # 11 base edges -> threshold is 1.1 buffered edges.
+        dyn.insert_edge(5, 0, 0)
+        assert dyn.rebuild_count == 0
+        dyn.insert_edge(5, 1, 1)
+        assert dyn.rebuild_count == 1
+        assert dyn.pending_insertions == 0
+        assert dyn.graph.has_edge(5, 0, 0)
+        assert dyn.query(5, 0, (0,)) is True
+
+    def test_manual_rebuild(self, fig2):
+        dyn = DynamicRlcIndex.build(fig2, k=2, rebuild_threshold=10.0)
+        dyn.insert_edge(5, 0, 0)
+        dyn.rebuild()
+        assert dyn.rebuild_count == 1
+        assert dyn.pending_insertions == 0
+        dyn.rebuild()  # no-op without buffered edges
+        assert dyn.rebuild_count == 1
+
+    def test_answers_stable_across_rebuild(self, fig2):
+        buffered = DynamicRlcIndex.build(fig2, k=2, rebuild_threshold=100.0)
+        rebuilt = DynamicRlcIndex.build(fig2, k=2, rebuild_threshold=100.0)
+        new_edges = [(5, 0, 0), (1, 2, 3), (4, 1, 2)]
+        for edge in new_edges:
+            buffered.insert_edge(*edge)
+            rebuilt.insert_edge(*edge)
+        rebuilt.rebuild()
+        for s, t in itertools.product(range(6), repeat=2):
+            for labels in all_primitive_constraints(3, 2):
+                assert buffered.query(s, t, labels) == rebuilt.query(s, t, labels)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_incremental_equals_from_scratch(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(seed + 700)
+        n, num_labels = graph.num_vertices, graph.num_labels
+        dyn = DynamicRlcIndex.build(graph, k=2, rebuild_threshold=1000.0)
+        edges = set(graph.edges())
+        for _ in range(6):
+            edge = (rng.randrange(n), rng.randrange(num_labels), rng.randrange(n))
+            edges.add(edge)
+            dyn.insert_edge(*edge)
+        union = EdgeLabeledDigraph(n, sorted(edges), num_labels=num_labels)
+        for s, t in itertools.product(range(n), repeat=2):
+            for labels in all_primitive_constraints(num_labels, 2):
+                assert dyn.query(s, t, labels) == brute_force_rlc(
+                    union, s, t, labels
+                ), (seed, s, t, labels)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_with_rebuilds_interleaved(self, seed):
+        rng = random.Random(seed + 1)
+        graph = random_graph(seed + 800)
+        n, num_labels = graph.num_vertices, graph.num_labels
+        dyn = DynamicRlcIndex.build(graph, k=2, rebuild_threshold=0.15)
+        edges = set(graph.edges())
+        for _ in range(8):
+            edge = (rng.randrange(n), rng.randrange(num_labels), rng.randrange(n))
+            edges.add(edge)
+            dyn.insert_edge(*edge)
+        union = EdgeLabeledDigraph(n, sorted(edges), num_labels=num_labels)
+        for s, t in itertools.product(range(n), repeat=2):
+            for labels in all_primitive_constraints(num_labels, 2):
+                assert dyn.query(s, t, labels) == brute_force_rlc(
+                    union, s, t, labels
+                )

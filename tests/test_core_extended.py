@@ -1,0 +1,109 @@
+"""Tests for index-accelerated extended queries (Table V's Q4 family)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.automata import parse_regex
+from repro.baselines import NfaBfs
+from repro.core import ExtendedQueryEvaluator, build_rlc_index
+from repro.errors import QueryError
+from repro.graph.digraph import EdgeLabeledDigraph
+
+from tests.helpers import random_graph
+
+
+@pytest.fixture
+def fig2_evaluator(fig2, fig2_index):
+    return ExtendedQueryEvaluator(fig2_index, fig2)
+
+
+class TestPlanning:
+    def test_pure_rlc_goes_to_index(self, fig2_evaluator):
+        assert fig2_evaluator.plan("(l1 l2)+") == "index"
+
+    def test_single_label_plus(self, fig2_evaluator):
+        assert fig2_evaluator.plan("l1+") == "index"
+
+    def test_concatenation_of_pluses_is_hybrid(self, fig2_evaluator):
+        assert fig2_evaluator.plan("l1+ l2+") == "hybrid"
+
+    def test_prefix_then_rlc_is_hybrid(self, fig2_evaluator):
+        assert fig2_evaluator.plan("l1 (l2 l1)+") == "hybrid"
+
+    def test_over_k_final_factor_goes_online(self, fig2_evaluator):
+        assert fig2_evaluator.plan("(l1 l2 l3)+") == "online"
+
+    def test_non_primitive_final_goes_online(self, fig2_evaluator):
+        assert fig2_evaluator.plan("l1+ (l2 l2)+") == "online"
+
+    def test_alternation_goes_online(self, fig2_evaluator):
+        assert fig2_evaluator.plan("(l1 | l2)+") == "online"
+
+    def test_star_final_goes_online(self, fig2_evaluator):
+        assert fig2_evaluator.plan("l1+ l2*") == "online"
+
+
+class TestAgainstOnlineBaseline:
+    EXPRESSIONS = [
+        "0+ 1+",
+        "0+ (0 1)+",
+        "1 (0 1)+",
+        "(0 | 1)+",
+        "0* 1+",
+        "(0 1)+ 0+",
+        "0+ 1+ 0+",
+    ]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_plans_agree_with_bfs(self, seed):
+        graph = random_graph(seed + 300, max_labels=2, min_labels=2)
+        index = build_rlc_index(graph, 2)
+        evaluator = ExtendedQueryEvaluator(index, graph)
+        bfs = NfaBfs(graph)
+        for expression in self.EXPRESSIONS:
+            for s, t in itertools.product(range(graph.num_vertices), repeat=2):
+                assert evaluator.query(s, t, expression) == bfs.query_regex(
+                    s, t, parse_regex(expression)
+                ), (seed, expression, s, t)
+
+
+class TestQ4OnFig2:
+    def test_q4_two_segments(self, fig2_evaluator):
+        # l2+ l1+ from v1: v1 -l2-> v3 -l1-> v6.
+        assert fig2_evaluator.query(0, 5, "l2+ l1+") is True
+
+    def test_q4_false(self, fig2_evaluator):
+        # No l3+ path out of v6 (sink).
+        assert fig2_evaluator.query(5, 0, "l3+ l1+") is False
+
+    def test_query_concatenation_named(self, fig2, fig2_index):
+        evaluator = ExtendedQueryEvaluator(fig2_index, fig2)
+        assert evaluator.query_concatenation(0, 5, [("l2",), ("l1",)]) is True
+
+    def test_query_concatenation_int_segments(self, fig2_evaluator):
+        assert fig2_evaluator.query_concatenation(0, 5, [(1,), (0,)]) is True
+
+    def test_query_concatenation_single_segment(self, fig2_evaluator):
+        # Degenerates to the pure index path.
+        assert fig2_evaluator.query_concatenation(2, 5, [(1, 0)]) is True
+
+    def test_empty_segments_rejected(self, fig2_evaluator):
+        with pytest.raises(QueryError):
+            fig2_evaluator.query_concatenation(0, 1, [])
+        with pytest.raises(QueryError):
+            fig2_evaluator.query_concatenation(0, 1, [()])
+
+
+class TestConstruction:
+    def test_vertex_count_mismatch(self, fig2_index):
+        other = EdgeLabeledDigraph(3, [(0, 0, 1)], num_labels=1)
+        with pytest.raises(QueryError, match="vertex count"):
+            ExtendedQueryEvaluator(fig2_index, other)
+
+    def test_properties(self, fig2, fig2_index, fig2_evaluator):
+        assert fig2_evaluator.index is fig2_index
+        assert fig2_evaluator.graph is fig2

@@ -1,0 +1,79 @@
+"""Tests for vertex orderings and access ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ordering import (
+    access_ids,
+    compute_order,
+    degree_order,
+    in_out_order,
+    random_order,
+)
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+
+
+class TestInOutOrder:
+    def test_paper_figure2_order(self, fig2):
+        # Section V-B: "the sorted list is (v1, v3, v2, v4, v5, v6)".
+        assert in_out_order(fig2) == [0, 2, 1, 3, 4, 5]
+
+    def test_descending_scores(self):
+        g = EdgeLabeledDigraph(3, [(0, 0, 1), (0, 0, 2), (1, 0, 2)])
+        order = in_out_order(g)
+        out_deg, in_deg = g.out_degrees(), g.in_degrees()
+        scores = [(out_deg[v] + 1) * (in_deg[v] + 1) for v in order]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tie_break_by_vertex_id(self):
+        g = EdgeLabeledDigraph(4, [(0, 0, 1), (2, 0, 3)])
+        order = in_out_order(g)
+        # Vertices 0 and 2 tie, 1 and 3 tie; ids break ties.
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+
+    def test_is_permutation(self, fig1):
+        assert sorted(in_out_order(fig1)) == list(range(fig1.num_vertices))
+
+
+class TestOtherOrders:
+    def test_degree_order_descending(self, fig2):
+        order = degree_order(fig2)
+        totals = fig2.out_degrees() + fig2.in_degrees()
+        values = [totals[v] for v in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_random_order_deterministic_by_seed(self, fig2):
+        assert random_order(fig2, seed=5) == random_order(fig2, seed=5)
+        assert random_order(fig2, seed=5) != random_order(fig2, seed=6)
+
+    def test_random_order_is_permutation(self, fig2):
+        assert sorted(random_order(fig2, seed=1)) == list(range(6))
+
+
+class TestComputeOrder:
+    def test_dispatch(self, fig2):
+        assert compute_order(fig2, "in-out") == in_out_order(fig2)
+        assert compute_order(fig2, "degree") == degree_order(fig2)
+        assert compute_order(fig2, "random", seed=3) == random_order(fig2, seed=3)
+
+    def test_unknown_strategy(self, fig2):
+        with pytest.raises(GraphError, match="unknown ordering"):
+            compute_order(fig2, "alphabetical")
+
+
+class TestAccessIds:
+    def test_inverse_of_order(self):
+        order = [2, 0, 1]
+        aid = access_ids(order, 3)
+        assert aid == [2, 3, 1]
+        for position, vertex in enumerate(order):
+            assert aid[vertex] == position + 1
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            access_ids([0, 0, 1], 3)
+        with pytest.raises(GraphError):
+            access_ids([0, 1], 3)

@@ -1,0 +1,92 @@
+"""Tests for witness-path extraction."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import build_rlc_index, find_witness_path
+from repro.errors import NonPrimitiveConstraintError, QueryError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.paths import is_path
+from repro.labels.minimum_repeat import minimum_repeat, power_of
+
+from tests.helpers import all_primitive_constraints, random_graph
+
+
+class TestFig2Witness:
+    def test_example4_path(self, fig2):
+        # Q1(v3, v6, (l2 l1)+): the unique shortest witness is
+        # (v3, l2, v4, l1, v1, l2, v3, l1, v6) from the paper.
+        vertices, labels = find_witness_path(fig2, 2, 5, (1, 0))
+        assert vertices == (2, 3, 0, 2, 5)
+        assert labels == (1, 0, 1, 0)
+
+    def test_single_copy(self, fig2):
+        vertices, labels = find_witness_path(fig2, 0, 1, (0,))
+        assert vertices == (0, 1)
+        assert labels == (0,)
+
+    def test_none_when_false(self, fig2):
+        assert find_witness_path(fig2, 0, 2, (0,)) is None
+
+    def test_cycle_witness(self, fig2):
+        vertices, labels = find_witness_path(fig2, 0, 0, (0,))
+        assert vertices[0] == vertices[-1] == 0
+        assert len(labels) >= 1
+
+
+class TestWitnessProperties:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_witness_is_valid_and_matches_constraint(self, seed):
+        graph = random_graph(seed + 60)
+        index = build_rlc_index(graph, 2)
+        for s, t in itertools.product(range(graph.num_vertices), repeat=2):
+            for constraint in all_primitive_constraints(graph.num_labels, 2):
+                witness = find_witness_path(graph, s, t, constraint)
+                expected = index.query(s, t, constraint)
+                assert (witness is not None) == expected, (seed, s, t, constraint)
+                if witness is None:
+                    continue
+                vertices, labels = witness
+                assert vertices[0] == s and vertices[-1] == t
+                assert is_path(graph, vertices, labels)
+                assert power_of(labels, constraint) >= 1
+                assert minimum_repeat(labels) == constraint
+
+    def test_shortest_witness(self):
+        # Two witnesses exist: length 1 and length 2; shortest returned.
+        graph = EdgeLabeledDigraph(
+            3, [(0, 0, 1), (0, 0, 2), (2, 0, 1)], num_labels=1
+        )
+        vertices, labels = find_witness_path(graph, 0, 1, (0,))
+        assert vertices == (0, 1)
+
+    def test_validation(self, fig2):
+        with pytest.raises(QueryError):
+            find_witness_path(fig2, 0, 99, (0,))
+        with pytest.raises(NonPrimitiveConstraintError):
+            find_witness_path(fig2, 0, 1, (0, 0))
+
+
+class TestSelfLoopWitness:
+    def test_loop_repeated(self):
+        graph = EdgeLabeledDigraph(
+            2, [(0, 0, 0), (0, 1, 1)], num_labels=2
+        )
+        vertices, labels = find_witness_path(graph, 0, 0, (0,))
+        assert vertices == (0, 0)
+        assert labels == (0,)
+
+    def test_loop_inside_longer_constraint(self):
+        # (a b)+ where b is a self-loop at 1: 0 -a-> 1 -b-> 1 ... -a-> ?
+        graph = EdgeLabeledDigraph(
+            2, [(0, 0, 1), (1, 1, 1), (1, 0, 0)], num_labels=2
+        )
+        witness = find_witness_path(graph, 0, 1, (0, 1))
+        assert witness is not None
+        vertices, labels = witness
+        assert labels == (0, 1)
+        assert vertices == (0, 1, 1)

@@ -1,0 +1,120 @@
+"""Tests for the mutable graph builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestNamedMode:
+    def test_names_interned_in_order(self):
+        b = GraphBuilder()
+        b.add_edge("x", "r", "y")
+        b.add_edge("y", "r", "z")
+        assert b.vertex_names == ("x", "y", "z")
+        assert b.vertex_id("z") == 2
+
+    def test_unknown_name(self):
+        b = GraphBuilder()
+        b.add_edge("x", "r", "y")
+        with pytest.raises(GraphError, match="unknown vertex name"):
+            b.vertex_id("q")
+
+    def test_build_named(self):
+        b = GraphBuilder()
+        b.add_edge("x", "knows", "y")
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.has_edge(0, 0, 1)
+        assert g.label_name(0) == "knows"
+
+    def test_add_vertex_isolated(self):
+        b = GraphBuilder()
+        b.add_vertex("lonely")
+        b.add_edge("x", "r", "y")
+        assert b.build().num_vertices == 3
+
+    def test_mixing_modes_rejected(self):
+        b = GraphBuilder()
+        b.add_edge("x", "r", "y")
+        with pytest.raises(GraphError, match="mix"):
+            b.add_edge(0, "r", 1)
+
+
+class TestNumberedMode:
+    def test_build_numbered(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0, 5)
+        g = b.build()
+        assert g.num_vertices == 6
+
+    def test_explicit_num_vertices(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0, 1)
+        assert b.build(num_vertices=10).num_vertices == 10
+
+    def test_num_vertices_too_small(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0, 5)
+        with pytest.raises(GraphError, match="smaller"):
+            b.build(num_vertices=3)
+
+    def test_negative_vertex(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(-1, 0, 0)
+
+    def test_integer_labels_get_generated_names(self):
+        b = GraphBuilder()
+        b.add_edge(0, 2, 1)
+        g = b.build()
+        assert g.label_name(2) == "l2"
+        assert g.num_labels == 3
+
+    def test_mixing_modes_rejected_other_direction(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0, 1)
+        with pytest.raises(GraphError, match="mix"):
+            b.add_edge("x", "r", "y")
+
+
+class TestLabels:
+    def test_string_labels_interned(self):
+        b = GraphBuilder()
+        b.add_edge("x", "knows", "y")
+        b.add_edge("y", "likes", "x")
+        b.add_edge("x", "knows", "x")
+        g = b.build()
+        assert g.label_id("knows") == 0
+        assert g.label_id("likes") == 1
+
+    def test_negative_label(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, -2, 1)
+
+    def test_bad_label_type(self):
+        with pytest.raises(GraphError, match="str or int"):
+            GraphBuilder().add_edge(0, 1.5, 1)
+
+    def test_bad_vertex_type(self):
+        with pytest.raises(GraphError, match="str or int"):
+            GraphBuilder().add_edge(1.5, 0, 1)
+
+
+class TestBulk:
+    def test_add_edges(self):
+        b = GraphBuilder()
+        b.add_edges([("a", "r", "b"), ("b", "r", "c")])
+        assert b.num_edges_added == 2
+        assert b.build().num_edges == 2
+
+    def test_duplicates_collapse_on_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 0, 1), (0, 0, 1)])
+        assert b.num_edges_added == 2
+        assert b.build().num_edges == 1
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0 and g.num_edges == 0

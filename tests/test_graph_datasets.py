@@ -1,0 +1,91 @@
+"""Tests for the dataset registry and stand-in loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import datasets
+from repro.graph.stats import compute_stats, loop_count
+
+
+class TestRegistry:
+    def test_thirteen_datasets(self):
+        assert len(datasets.dataset_names()) == 13
+
+    def test_paper_order_by_edges(self):
+        specs = [datasets.get_spec(n) for n in datasets.dataset_names()]
+        paper_edges = [s.paper_edges for s in specs]
+        assert paper_edges == sorted(paper_edges)
+
+    def test_get_spec_case_insensitive(self):
+        assert datasets.get_spec("ad").name == "AD"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            datasets.get_spec("XX")
+
+    def test_paper_values_pinned(self):
+        ad = datasets.get_spec("AD")
+        assert (ad.paper_vertices, ad.paper_edges, ad.num_labels) == (6000, 51000, 3)
+        so = datasets.get_spec("SO")
+        assert so.paper_loops == 15_000_000
+        lj = datasets.get_spec("LJ")
+        assert lj.num_labels == 50
+
+    def test_seed_stable(self):
+        assert datasets.get_spec("AD").seed() == datasets.get_spec("AD").seed()
+        assert datasets.get_spec("AD").seed() != datasets.get_spec("EP").seed()
+
+
+class TestLoader:
+    def test_deterministic(self):
+        a = datasets.load_dataset("AD")
+        b = datasets.load_dataset("AD")
+        assert a == b
+
+    def test_label_count_matches_spec(self):
+        for name in ("AD", "EP", "LJ", "WF"):
+            spec = datasets.get_spec(name)
+            graph = datasets.load_dataset(name, scale=0.2)
+            assert graph.num_labels == spec.num_labels
+
+    def test_sizes_near_spec(self):
+        spec = datasets.get_spec("EP")
+        graph = datasets.load_dataset("EP")
+        assert graph.num_vertices == spec.standin_vertices
+        assert graph.num_edges == pytest.approx(spec.standin_edges, rel=0.25)
+
+    def test_scale_shrinks(self):
+        full = datasets.load_dataset("TW")
+        half = datasets.load_dataset("TW", scale=0.5)
+        assert half.num_vertices < full.num_vertices
+        assert half.num_edges < full.num_edges
+
+    def test_loops_injected(self):
+        graph = datasets.load_dataset("AD")
+        spec = datasets.get_spec("AD")
+        assert loop_count(graph) >= spec.standin_loops * 0.8
+
+    def test_so_is_loop_heaviest(self):
+        so = datasets.load_dataset("SO", scale=0.1)
+        ad = datasets.load_dataset("AD", scale=0.1)
+        assert loop_count(so) / so.num_vertices > loop_count(ad) / ad.num_vertices
+
+    def test_zipf_label_skew(self):
+        graph = datasets.load_dataset("EP", scale=0.5)
+        histogram = compute_stats(graph).label_histogram
+        assert histogram[0] > sum(histogram) * 0.5
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError, match="scale"):
+            datasets.load_dataset("AD", scale=0)
+
+    def test_minimum_size_floor(self):
+        graph = datasets.load_dataset("AD", scale=1e-6)
+        assert graph.num_vertices >= 16
+
+    def test_custom_seed_changes_graph(self):
+        a = datasets.load_dataset("TW", scale=0.3, seed=1)
+        b = datasets.load_dataset("TW", scale=0.3, seed=2)
+        assert a != b

@@ -1,0 +1,98 @@
+"""Tests for networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import build_rlc_index
+from repro.errors import GraphError
+from repro.graph.generators import paper_figure2
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_multidigraph(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("a", "b", label="knows")
+        g.add_edge("b", "a", label="knows")
+        g.add_edge("a", "b", label="likes")
+        graph, nodes = from_networkx(g)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 3
+        assert nodes == ("a", "b")
+        assert graph.label_id("knows") in (0, 1)
+
+    def test_digraph(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, label="r")
+        graph, nodes = from_networkx(g)
+        assert graph.num_edges == 1
+
+    def test_custom_attribute(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, rel="r")
+        graph, _ = from_networkx(g, label_attribute="rel")
+        assert graph.label_name(0) == "r"
+
+    def test_missing_label_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError, match="no 'label'"):
+            from_networkx(g)
+
+    def test_undirected_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, label="r")
+        with pytest.raises(GraphError, match="directed"):
+            from_networkx(g)
+
+    def test_isolated_nodes_preserved(self):
+        g = nx.DiGraph()
+        g.add_node("lonely")
+        g.add_edge("a", "b", label="r")
+        graph, nodes = from_networkx(g)
+        assert graph.num_vertices == 3
+
+    def test_query_over_converted_graph(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("x", "y", label="a")
+        g.add_edge("y", "z", label="b")
+        g.add_edge("z", "x", label="a")
+        graph, nodes = from_networkx(g)
+        index = build_rlc_index(graph, 2)
+        x, y = nodes.index("x"), nodes.index("y")
+        constraint = graph.encode_sequence(("a", "b"))
+        # x -a-> y -b-> z: one copy of (a b).
+        assert index.query(x, nodes.index("z"), constraint)
+
+
+class TestToNetworkx:
+    def test_round_trip(self):
+        original = paper_figure2()
+        nx_graph = to_networkx(original)
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph.number_of_edges() == 11
+        back, _ = from_networkx(nx_graph)
+        assert back.num_edges == original.num_edges
+        assert back.num_vertices == original.num_vertices
+
+    def test_label_names_kept(self):
+        nx_graph = to_networkx(paper_figure2())
+        labels = {data["label"] for _, _, data in nx_graph.edges(data=True)}
+        assert labels == {"l1", "l2", "l3"}
+
+    def test_integer_labels_without_dictionary(self):
+        from repro.graph.digraph import EdgeLabeledDigraph
+
+        graph = EdgeLabeledDigraph(2, [(0, 1, 1)], num_labels=2)
+        nx_graph = to_networkx(graph)
+        (_, _, data), = nx_graph.edges(data=True)
+        assert data["label"] == 1
+
+    def test_analytics_on_exported_graph(self):
+        nx_graph = to_networkx(paper_figure2())
+        # A sanity interop use-case: run a networkx algorithm.
+        assert nx.is_strongly_connected(
+            nx_graph.subgraph([0, 1, 2, 3, 4]).copy()
+        ) in (True, False)

@@ -1,0 +1,78 @@
+"""Tests for path utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.paths import is_path, path_labels, random_walk
+
+
+@pytest.fixture
+def chain():
+    return EdgeLabeledDigraph(4, [(0, 0, 1), (1, 1, 2), (2, 0, 3), (0, 1, 1)])
+
+
+class TestIsPath:
+    def test_valid(self, chain):
+        assert is_path(chain, (0, 1, 2, 3), (0, 1, 0))
+
+    def test_wrong_label(self, chain):
+        assert not is_path(chain, (0, 1, 2), (1, 0))
+
+    def test_missing_edge(self, chain):
+        assert not is_path(chain, (0, 2), (0,))
+
+    def test_length_mismatch(self, chain):
+        assert not is_path(chain, (0, 1), (0, 1))
+
+    def test_parallel_edge_choice(self, chain):
+        assert is_path(chain, (0, 1), (0,))
+        assert is_path(chain, (0, 1), (1,))
+
+    def test_empty_path(self, chain):
+        assert is_path(chain, (0,), ())
+
+
+class TestPathLabels:
+    def test_extracts_labels(self, chain):
+        assert path_labels(chain, (0, 1, 2, 3)) == (0, 1, 0)
+
+    def test_smallest_parallel_label(self, chain):
+        assert path_labels(chain, (0, 1)) == (0,)
+
+    def test_missing_hop(self, chain):
+        with pytest.raises(GraphError, match="no edge"):
+            path_labels(chain, (0, 3))
+
+    def test_trivial(self, chain):
+        assert path_labels(chain, (2,)) == ()
+
+
+class TestRandomWalk:
+    def test_walk_is_real_path(self, chain):
+        rng = random.Random(0)
+        for _ in range(20):
+            vertices, labels = random_walk(chain, 0, 3, rng)
+            assert is_path(chain, vertices, labels)
+
+    def test_stops_at_sink(self, chain):
+        vertices, labels = random_walk(chain, 3, 5, random.Random(1))
+        assert vertices == (3,) and labels == ()
+
+    def test_requested_length(self, chain):
+        vertices, labels = random_walk(chain, 0, 3, random.Random(2))
+        assert len(labels) == 3
+        assert len(vertices) == 4
+
+    def test_unknown_start(self, chain):
+        with pytest.raises(GraphError, match="unknown vertex"):
+            random_walk(chain, 9, 2)
+
+    def test_deterministic_given_rng(self, chain):
+        a = random_walk(chain, 0, 4, random.Random(7))
+        b = random_walk(chain, 0, 4, random.Random(7))
+        assert a == b

@@ -1,0 +1,106 @@
+"""Tests for graph statistics (the Table III columns)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.stats import (
+    compute_stats,
+    directed_triangle_count,
+    label_histogram,
+    loop_count,
+    undirected_triangle_count,
+)
+
+
+class TestLoops:
+    def test_counts_self_loops(self):
+        g = EdgeLabeledDigraph(3, [(0, 0, 0), (1, 0, 2), (2, 1, 2)])
+        assert loop_count(g) == 2
+
+    def test_parallel_loops_count_per_label(self):
+        g = EdgeLabeledDigraph(1, [(0, 0, 0), (0, 1, 0)])
+        assert loop_count(g) == 2
+
+    def test_no_loops(self):
+        g = EdgeLabeledDigraph(2, [(0, 0, 1)])
+        assert loop_count(g) == 0
+
+
+class TestTriangles:
+    def test_directed_three_cycle(self):
+        g = EdgeLabeledDigraph(3, [(0, 0, 1), (1, 0, 2), (2, 0, 0)])
+        assert directed_triangle_count(g) == 1
+        assert undirected_triangle_count(g) == 1
+
+    def test_undirected_triangle_not_directed(self):
+        # 0->1, 0->2, 1->2: a triangle ignoring direction, not a 3-cycle.
+        g = EdgeLabeledDigraph(3, [(0, 0, 1), (0, 0, 2), (1, 0, 2)])
+        assert directed_triangle_count(g) == 0
+        assert undirected_triangle_count(g) == 1
+
+    def test_self_loops_excluded(self):
+        g = EdgeLabeledDigraph(3, [(0, 0, 0), (0, 0, 1), (1, 0, 2), (2, 0, 0)])
+        assert directed_triangle_count(g) == 1
+
+    def test_two_directed_triangles(self):
+        g = EdgeLabeledDigraph(
+            4,
+            [(0, 0, 1), (1, 0, 2), (2, 0, 0), (1, 0, 3), (3, 0, 2), (2, 0, 1)],
+        )
+        # Cycles: 0-1-2 and 1-3-2.
+        assert directed_triangle_count(g) == 2
+
+    def test_labels_do_not_multiply_triangles(self):
+        g = EdgeLabeledDigraph(
+            3, [(0, 0, 1), (0, 1, 1), (1, 0, 2), (2, 0, 0)]
+        )
+        assert directed_triangle_count(g) == 1
+
+    def test_empty(self):
+        assert directed_triangle_count(EdgeLabeledDigraph(3, [])) == 0
+        assert undirected_triangle_count(EdgeLabeledDigraph(0, [])) == 0
+
+    def test_complete_graph_count(self):
+        n = 5
+        edges = [(u, 0, v) for u in range(n) for v in range(n) if u != v]
+        g = EdgeLabeledDigraph(n, edges)
+        # K5: C(5,3) = 10 undirected triangles; each unordered triple
+        # yields 2 directed 3-cycles in a complete digraph.
+        assert undirected_triangle_count(g) == 10
+        assert directed_triangle_count(g) == 20
+
+
+class TestHistogram:
+    def test_counts(self):
+        g = EdgeLabeledDigraph(3, [(0, 0, 1), (1, 0, 2), (2, 1, 0)], num_labels=3)
+        assert label_histogram(g) == {0: 2, 1: 1, 2: 0}
+
+
+class TestComputeStats:
+    def test_full_summary(self):
+        g = EdgeLabeledDigraph(
+            3, [(0, 0, 1), (1, 0, 2), (2, 0, 0), (0, 1, 0)], num_labels=2
+        )
+        stats = compute_stats(g)
+        assert stats.num_vertices == 3
+        assert stats.num_edges == 4
+        assert stats.num_labels == 2
+        assert stats.loop_count == 1
+        assert stats.triangle_count == 1
+        assert stats.directed_triangle_count == 1
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.average_degree == pytest.approx(4 / 3)
+        assert stats.label_histogram == (3, 1)
+
+    def test_empty_graph(self):
+        stats = compute_stats(EdgeLabeledDigraph(0, []))
+        assert stats.average_degree == 0.0
+        assert stats.max_out_degree == 0
+
+    def test_format_row(self):
+        g = EdgeLabeledDigraph(2, [(0, 0, 1)])
+        row = compute_stats(g).format_row("TEST")
+        assert "TEST" in row and "|V|=" in row

@@ -1,0 +1,244 @@
+"""Unit and property tests for minimum repeats and kernel decompositions."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels.minimum_repeat import (
+    border_array,
+    is_primitive,
+    kernel_decomposition,
+    minimum_repeat,
+    power_of,
+    shortest_period,
+    suffix_kernel_decomposition,
+)
+
+sequences = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12).map(
+    tuple
+)
+
+
+def brute_force_mr(seq):
+    """Reference implementation: shortest prefix whose power equals seq."""
+    n = len(seq)
+    for p in range(1, n + 1):
+        if n % p == 0 and tuple(seq[:p]) * (n // p) == tuple(seq):
+            return tuple(seq[:p])
+    raise AssertionError("unreachable")
+
+
+class TestBorderArray:
+    def test_empty(self):
+        assert border_array(()) == ()
+
+    def test_single(self):
+        assert border_array((5,)) == (0,)
+
+    def test_classic_pattern(self):
+        # KMP textbook example: "abababca"-like structure.
+        assert border_array((0, 1, 0, 1, 0, 1, 2, 0)) == (0, 0, 1, 2, 3, 4, 0, 1)
+
+    def test_all_equal(self):
+        assert border_array((7, 7, 7, 7)) == (0, 1, 2, 3)
+
+    def test_no_borders(self):
+        assert border_array((0, 1, 2, 3)) == (0, 0, 0, 0)
+
+    def test_works_on_strings(self):
+        assert border_array("abab") == (0, 0, 1, 2)
+
+
+class TestShortestPeriod:
+    def test_empty_is_zero(self):
+        assert shortest_period(()) == 0
+
+    @pytest.mark.parametrize(
+        "seq,period",
+        [
+            ((1,), 1),
+            ((1, 1), 1),
+            ((1, 2), 2),
+            ((1, 1, 1), 1),
+            ((1, 2, 1), 3),
+            ((1, 2, 2), 3),
+            ((1, 2, 1, 2), 2),
+            ((1, 1, 1, 1), 1),
+            ((1, 2, 2, 1), 4),
+            ((1, 2, 3, 1, 2, 3), 3),
+            ((1, 2, 1, 2, 1), 5),  # period 2 does not divide 5
+        ],
+    )
+    def test_known_periods(self, seq, period):
+        assert shortest_period(seq) == period
+
+    def test_closed_forms_match_general_path(self):
+        # Lengths <= 4 use closed forms; cross-check against brute force.
+        for length in range(1, 5):
+            for seq in itertools.product(range(3), repeat=length):
+                assert shortest_period(seq) == len(brute_force_mr(seq))
+
+
+class TestMinimumRepeat:
+    def test_paper_example(self):
+        # MR((knows, worksFor, knows, worksFor)) = (knows, worksFor)
+        seq = ("knows", "worksFor", "knows", "worksFor")
+        assert minimum_repeat(seq) == ("knows", "worksFor")
+
+    def test_primitive_stays(self):
+        assert minimum_repeat((1, 2, 3)) == (1, 2, 3)
+
+    def test_returns_tuple(self):
+        assert isinstance(minimum_repeat([1, 1]), tuple)
+
+    def test_empty(self):
+        assert minimum_repeat(()) == ()
+
+    @given(sequences)
+    def test_matches_brute_force(self, seq):
+        assert minimum_repeat(seq) == brute_force_mr(seq)
+
+    @given(sequences)
+    def test_idempotent(self, seq):
+        mr = minimum_repeat(seq)
+        assert minimum_repeat(mr) == mr
+
+    @given(sequences, st.integers(min_value=1, max_value=4))
+    def test_power_invariance(self, seq, z):
+        # Lemma 1 consequence: MR(L^z) == MR(L).
+        assert minimum_repeat(seq * z) == minimum_repeat(seq)
+
+    @given(sequences)
+    def test_mr_divides_length(self, seq):
+        assert len(seq) % len(minimum_repeat(seq)) == 0
+
+    @given(sequences)
+    def test_sequence_is_power_of_mr(self, seq):
+        mr = minimum_repeat(seq)
+        assert power_of(seq, mr) == len(seq) // len(mr)
+
+
+class TestIsPrimitive:
+    def test_empty_not_primitive(self):
+        assert not is_primitive(())
+
+    def test_single_label_primitive(self):
+        assert is_primitive((0,))
+
+    def test_square_not_primitive(self):
+        assert not is_primitive((0, 1, 0, 1))
+
+    @given(sequences)
+    def test_agrees_with_mr(self, seq):
+        assert is_primitive(seq) == (minimum_repeat(seq) == seq)
+
+    @given(sequences, st.integers(min_value=2, max_value=3))
+    def test_powers_never_primitive(self, seq, z):
+        assert not is_primitive(seq * z)
+
+
+class TestPowerOf:
+    def test_exact_power(self):
+        assert power_of((1, 2, 1, 2, 1, 2), (1, 2)) == 3
+
+    def test_not_a_power(self):
+        assert power_of((1, 2, 1), (1, 2)) == 0
+
+    def test_wrong_alignment(self):
+        assert power_of((2, 1, 2, 1), (1, 2)) == 0
+
+    def test_empty_base(self):
+        assert power_of((1,), ()) == 0
+
+    def test_empty_sequence(self):
+        assert power_of((), (1,)) == 0
+
+
+class TestKernelDecomposition:
+    def test_paper_example(self):
+        # (knows, knows, knows, knows) has kernel (knows,) and empty tail.
+        assert kernel_decomposition(("k", "k", "k", "k")) == (("k",), ())
+
+    def test_kernel_with_tail(self):
+        assert kernel_decomposition((1, 2, 1, 2, 1)) == ((1, 2), (1,))
+
+    def test_no_decomposition(self):
+        assert kernel_decomposition((1, 2, 3, 4)) is None
+
+    def test_single_repeat_is_not_kernel(self):
+        # h >= 2 is required by Definition 3.
+        assert kernel_decomposition((1, 2)) is None
+
+    def test_kernel_must_be_primitive(self):
+        # (1,1,2,1,1,2) = ((1,1,2))^2: kernel (1,1,2) is primitive.
+        assert kernel_decomposition((1, 1, 2, 1, 1, 2)) == ((1, 1, 2), ())
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=4).map(tuple),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_reconstruction(self, base, h, tail_length):
+        kernel = minimum_repeat(base)
+        tail = kernel[: min(tail_length, len(kernel) - 1)]
+        seq = kernel * h + tail
+        result = kernel_decomposition(seq)
+        assert result is not None
+        found_kernel, found_tail = result
+        # Lemma 2: the kernel is unique, so it must be exactly ours.
+        assert found_kernel == kernel
+        assert found_tail == tail
+        rebuilt = found_kernel * (len(seq) // len(found_kernel)) + found_tail
+        assert rebuilt == seq
+
+    @given(sequences)
+    def test_tail_is_proper_prefix(self, seq):
+        result = kernel_decomposition(seq)
+        if result is None:
+            return
+        kernel, tail = result
+        assert is_primitive(kernel)
+        assert len(tail) < len(kernel)
+        assert tail == kernel[: len(tail)]
+        h = (len(seq) - len(tail)) // len(kernel)
+        assert h >= 2
+        assert kernel * h + tail == seq
+
+
+class TestSuffixKernelDecomposition:
+    def test_suffix_form(self):
+        # (2) . (1,2)^2 — tail is a proper *suffix* of the kernel.
+        assert suffix_kernel_decomposition((2, 1, 2, 1, 2)) == ((1, 2), (2,))
+
+    def test_empty_tail(self):
+        assert suffix_kernel_decomposition((1, 2, 1, 2)) == ((1, 2), ())
+
+    def test_none(self):
+        assert suffix_kernel_decomposition((1, 2, 3)) is None
+
+    @given(sequences)
+    def test_mirror_of_prefix_form(self, seq):
+        reversed_seq = tuple(reversed(seq))
+        prefix = kernel_decomposition(reversed_seq)
+        suffix = suffix_kernel_decomposition(seq)
+        if prefix is None:
+            assert suffix is None
+        else:
+            kernel, tail = suffix
+            assert kernel == tuple(reversed(prefix[0]))
+            assert tail == tuple(reversed(prefix[1]))
+
+    @given(sequences)
+    def test_reconstruction(self, seq):
+        result = suffix_kernel_decomposition(seq)
+        if result is None:
+            return
+        kernel, tail = result
+        h = (len(seq) - len(tail)) // len(kernel)
+        assert h >= 2
+        assert tail + kernel * h == seq
+        assert tail == kernel[len(kernel) - len(tail) :] if tail else True

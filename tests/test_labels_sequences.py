@@ -1,0 +1,116 @@
+"""Tests for label dictionaries and constraint notation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, QueryError
+from repro.labels.sequences import LabelDictionary, format_constraint, parse_constraint
+
+
+class TestLabelDictionary:
+    def test_first_seen_order(self):
+        d = LabelDictionary()
+        assert d.add("knows") == 0
+        assert d.add("worksFor") == 1
+        assert d.add("knows") == 0
+
+    def test_constructor_seed(self):
+        d = LabelDictionary(["a", "b"])
+        assert d.id_of("b") == 1
+
+    def test_name_of(self):
+        d = LabelDictionary(["a", "b"])
+        assert d.name_of(0) == "a"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GraphError, match="unknown label name"):
+            LabelDictionary().id_of("nope")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(GraphError, match="unknown label id"):
+            LabelDictionary(["a"]).name_of(5)
+
+    def test_negative_id_raises(self):
+        with pytest.raises(GraphError):
+            LabelDictionary(["a"]).name_of(-1)
+
+    def test_contains_and_len(self):
+        d = LabelDictionary(["a", "b"])
+        assert "a" in d and "c" not in d
+        assert len(d) == 2
+
+    def test_iteration_order(self):
+        assert list(LabelDictionary(["x", "y", "z"])) == ["x", "y", "z"]
+
+    def test_equality(self):
+        assert LabelDictionary(["a"]) == LabelDictionary(["a"])
+        assert LabelDictionary(["a"]) != LabelDictionary(["b"])
+
+    def test_encode_names(self):
+        d = LabelDictionary(["a", "b"])
+        assert d.encode(("b", "a", "b")) == (1, 0, 1)
+
+    def test_encode_mixed_ids(self):
+        d = LabelDictionary(["a", "b"])
+        assert d.encode(("a", 1)) == (0, 1)
+
+    def test_encode_unknown_id(self):
+        with pytest.raises(GraphError):
+            LabelDictionary(["a"]).encode((3,))
+
+    def test_encode_bad_type(self):
+        with pytest.raises(GraphError, match="str or int"):
+            LabelDictionary(["a"]).encode((1.5,))
+
+    def test_decode(self):
+        d = LabelDictionary(["a", "b"])
+        assert d.decode((1, 0)) == ("b", "a")
+
+
+class TestParseConstraint:
+    def test_paper_notation(self):
+        assert parse_constraint("(debits, credits)+") == (("debits", "credits"), "+")
+
+    def test_single_label(self):
+        assert parse_constraint("knows+") == (("knows",), "+")
+
+    def test_star(self):
+        assert parse_constraint("(a b)*") == (("a", "b"), "*")
+
+    def test_whitespace_separated(self):
+        assert parse_constraint("( a   b c )+") == (("a", "b", "c"), "+")
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            parse_constraint("   ")
+
+    def test_missing_operator_raises(self):
+        with pytest.raises(QueryError, match="must end with"):
+            parse_constraint("(a b)")
+
+    def test_no_labels_raises(self):
+        with pytest.raises(QueryError, match="no labels"):
+            parse_constraint("()+")
+
+
+class TestFormatConstraint:
+    def test_multi(self):
+        assert format_constraint(("debits", "credits")) == "(debits, credits)+"
+
+    def test_single(self):
+        assert format_constraint(("knows",)) == "knows+"
+
+    def test_star(self):
+        assert format_constraint(("a", "b"), "*") == "(a, b)*"
+
+    def test_integer_labels(self):
+        assert format_constraint((0, 1)) == "(0, 1)+"
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            format_constraint(("a",), "?")
+
+    def test_round_trip(self):
+        labels, op = parse_constraint(format_constraint(("x", "y", "z"), "*"))
+        assert labels == ("x", "y", "z") and op == "*"

@@ -1,0 +1,81 @@
+"""Tests for the shared RLC query model and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapabilityError, NonPrimitiveConstraintError, QueryError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.queries import RlcQuery, validate_rlc_query
+
+
+@pytest.fixture
+def graph():
+    return EdgeLabeledDigraph(3, [(0, 0, 1), (1, 1, 2)], num_labels=2)
+
+
+class TestRlcQuery:
+    def test_labels_coerced_to_tuple(self):
+        q = RlcQuery(0, 1, [1, 0])
+        assert q.labels == (1, 0)
+
+    def test_recursive_length(self):
+        assert RlcQuery(0, 1, (0, 1, 0)).recursive_length == 3
+
+    def test_constraint_text(self):
+        assert RlcQuery(0, 1, (0, 1)).constraint_text() == "(0, 1)+"
+
+    def test_str(self):
+        assert str(RlcQuery(2, 5, (1,))) == "Q(2, 5, 1+)"
+
+    def test_hashable_and_frozen(self):
+        q = RlcQuery(0, 1, (0,))
+        assert hash(q) == hash(RlcQuery(0, 1, (0,)))
+        with pytest.raises(AttributeError):
+            q.source = 3
+
+    def test_expected_default_none(self):
+        assert RlcQuery(0, 1, (0,)).expected is None
+
+
+class TestValidate:
+    def test_valid(self, graph):
+        assert validate_rlc_query(graph, 0, 2, [0, 1]) == (0, 1)
+
+    def test_unknown_source(self, graph):
+        with pytest.raises(QueryError, match="source"):
+            validate_rlc_query(graph, 9, 0, (0,))
+
+    def test_unknown_target(self, graph):
+        with pytest.raises(QueryError, match="target"):
+            validate_rlc_query(graph, 0, -1, (0,))
+
+    def test_empty_constraint(self, graph):
+        with pytest.raises(QueryError, match="at least one label"):
+            validate_rlc_query(graph, 0, 1, ())
+
+    def test_unknown_label(self, graph):
+        with pytest.raises(QueryError, match="unknown label"):
+            validate_rlc_query(graph, 0, 1, (7,))
+
+    def test_non_integer_label(self, graph):
+        with pytest.raises(QueryError, match="unknown label"):
+            validate_rlc_query(graph, 0, 1, ("a",))
+
+    def test_non_primitive_rejected(self, graph):
+        with pytest.raises(NonPrimitiveConstraintError, match="minimum repeat"):
+            validate_rlc_query(graph, 0, 1, (0, 0))
+
+    def test_non_primitive_is_query_error(self, graph):
+        with pytest.raises(QueryError):
+            validate_rlc_query(graph, 0, 1, (1, 0, 1, 0))
+
+    def test_k_bound(self, graph):
+        with pytest.raises(CapabilityError, match="recursive k"):
+            validate_rlc_query(graph, 0, 1, (0, 1), k=1)
+
+    def test_k_bound_ok(self, graph):
+        assert validate_rlc_query(graph, 0, 1, (0, 1), k=2) == (0, 1)
+
+    def test_k_none_means_unbounded(self, graph):
+        assert validate_rlc_query(graph, 0, 1, (0, 1)) == (0, 1)

@@ -1,0 +1,135 @@
+"""Direct property tests of Theorem 1 (the kernel-based-search theorem).
+
+Theorem 1: a path ``p`` has a non-empty k-MR iff
+- Case 1: ``|p| <= k`` (then ``MR(p)`` is it);
+- Case 2: ``k < |p| <= 2k`` and ``|MR(p)| <= k``;
+- Case 3: ``|p| > 2k``, the length-2k prefix decomposes into kernel
+  ``L'`` and tail ``L''``, and ``MR(L'' . rest) = L'``.
+
+These tests validate the statement itself over exhaustive and random
+label sequences — the correctness bedrock of both KBS strategies.
+Lemma 2 (kernel uniqueness) is exercised alongside.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels.minimum_repeat import (
+    kernel_decomposition,
+    minimum_repeat,
+    suffix_kernel_decomposition,
+)
+
+
+def has_nonempty_k_mr(sequence, k):
+    return len(minimum_repeat(sequence)) <= k
+
+
+def theorem1_prediction(sequence, k):
+    """Evaluate the right-hand side of Theorem 1 for a 'path' sequence."""
+    n = len(sequence)
+    if n <= k:
+        return True  # Case 1: MR always exists and is <= |p| <= k.
+    if n <= 2 * k:
+        return len(minimum_repeat(sequence)) <= k  # Case 2.
+    prefix = sequence[: 2 * k]  # Case 3.
+    decomposition = kernel_decomposition(prefix)
+    if decomposition is None:
+        return False
+    kernel, tail = decomposition
+    if len(kernel) > k:
+        return False
+    rest = sequence[2 * k :]
+    return minimum_repeat(tail + rest) == kernel
+
+
+class TestTheorem1Exhaustive:
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("alphabet", [1, 2])
+    def test_all_sequences_up_to_3k_plus_2(self, k, alphabet):
+        limit = 3 * k + 2
+        for length in range(1, limit + 1):
+            for seq in itertools.product(range(alphabet), repeat=length):
+                assert theorem1_prediction(seq, k) == has_nonempty_k_mr(seq, k), (
+                    k,
+                    seq,
+                )
+
+
+class TestTheorem1Random:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=14).map(tuple),
+        st.integers(1, 3),
+    )
+    def test_statement_holds(self, seq, k):
+        assert theorem1_prediction(seq, k) == has_nonempty_k_mr(seq, k)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=14).map(tuple),
+        st.integers(1, 3),
+    )
+    def test_case3_suffix_form_for_backward_search(self, seq, k):
+        """The mirrored statement used by backward KBS (suffix powers)."""
+        if len(seq) <= 2 * k:
+            return
+        suffix = seq[-2 * k :]
+        decomposition = suffix_kernel_decomposition(suffix)
+        if has_nonempty_k_mr(seq, k):
+            mr = minimum_repeat(seq)
+            assert decomposition is not None
+            kernel, tail = decomposition
+            # Lemma 2 (reversed): the unique kernel of the suffix must
+            # be a rotation-free match of the sequence's own MR.
+            assert kernel == mr
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=12).map(tuple))
+    def test_lemma2_uniqueness_via_scan(self, seq):
+        """At most one kernel length can decompose a sequence."""
+        candidates = []
+        n = len(seq)
+        for m in range(1, n // 2 + 1):
+            kernel = seq[:m]
+            if minimum_repeat(kernel) != kernel:
+                continue
+            if all(seq[i] == kernel[i % m] for i in range(n)):
+                candidates.append(kernel)
+        assert len(candidates) <= 1
+        decomposition = kernel_decomposition(seq)
+        if candidates:
+            assert decomposition is not None and decomposition[0] == candidates[0]
+
+
+class TestEagerKernelObservation:
+    """The eager-KBS justification: every power's prefix powers appear.
+
+    If ``seq = L^z`` with ``|L| <= k`` and ``|seq| > k``, then some
+    prefix of length ``j * |L| <= k`` (j >= 1) is a power of ``L`` —
+    the frontier the eager strategy seeds its kernel-BFS from.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=3).map(tuple),
+        st.integers(2, 5),
+        st.integers(1, 3),
+    )
+    def test_prefix_power_exists(self, base, z, k):
+        kernel = minimum_repeat(base)
+        if len(kernel) > k:
+            return
+        seq = kernel * z
+        if len(seq) <= k:
+            return
+        j = k // len(kernel)
+        assert j >= 1
+        prefix = seq[: j * len(kernel)]
+        assert minimum_repeat(prefix) == kernel
+        assert len(prefix) <= k
