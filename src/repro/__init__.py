@@ -28,6 +28,7 @@ paper-vs-measured record of every table and figure.
 from repro.errors import (
     BudgetExceededError,
     CapabilityError,
+    EngineError,
     GraphError,
     NonPrimitiveConstraintError,
     QueryError,
@@ -53,8 +54,17 @@ from repro.core import (
     build_rlc_index,
     find_witness_path,
 )
+from repro.engine import (
+    EngineStats,
+    QueryService,
+    ReachabilityEngine,
+    ServiceReport,
+    available_engines,
+    create_engine,
+    engine_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BudgetExceededError",
@@ -62,6 +72,8 @@ __all__ = [
     "CapabilityError",
     "DynamicRlcIndex",
     "EdgeLabeledDigraph",
+    "EngineError",
+    "EngineStats",
     "find_witness_path",
     "ExtendedQueryEvaluator",
     "ExtendedTransitiveClosure",
@@ -69,6 +81,9 @@ __all__ = [
     "GraphError",
     "LabelDictionary",
     "Nfa",
+    "QueryService",
+    "ReachabilityEngine",
+    "ServiceReport",
     "NfaBfs",
     "NfaBiBfs",
     "NfaDfs",
@@ -79,10 +94,13 @@ __all__ = [
     "RlcIndexBuilder",
     "RlcQuery",
     "SerializationError",
+    "available_engines",
     "build_rlc_index",
     "compile_regex",
     "compute_stats",
     "constraint_automaton",
+    "create_engine",
+    "engine_names",
     "is_primitive",
     "kernel_decomposition",
     "minimum_repeat",

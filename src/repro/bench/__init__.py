@@ -16,6 +16,7 @@ from repro.bench.harness import (
     ResultTable,
     format_micros,
     format_seconds,
+    run_engine_query_set,
     run_query_set,
     time_call,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "experiments",
     "format_micros",
     "format_seconds",
+    "run_engine_query_set",
     "run_query_set",
     "series_from_table",
     "time_call",

@@ -29,21 +29,23 @@ import statistics
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines import ExtendedTransitiveClosure, NfaBfs, NfaBiBfs
-from repro.bench.engines import all_engines
+from repro.baselines import ExtendedTransitiveClosure
 from repro.bench.harness import (
     TIMED_OUT,
     ResultTable,
     format_bytes,
     format_micros,
     format_seconds,
+    run_engine_query_set,
     run_query_set,
     time_call,
 )
 from repro.core import ExtendedQueryEvaluator, RlcIndexBuilder, build_rlc_index
+from repro.engine import create_engine, get_engine_class
 from repro.errors import BudgetExceededError
 from repro.graph import compute_stats, datasets, generators
 from repro.graph.stats import label_histogram
+from repro.queries import RlcQuery
 from repro.workloads import generate_workload
 
 __all__ = [
@@ -196,33 +198,31 @@ def experiment_fig3(
             seed=seed,
             graph_name=name,
         )
-        engines: List[Tuple[str, object]] = [
-            ("BFS", NfaBfs(graph).query),
-            ("BiBFS", NfaBiBfs(graph).query),
+        # Registry-driven engine roster: (key, constructor options).  A
+        # build budget overrun renders as the paper's '-' cells.
+        specs: List[Tuple[str, Dict[str, object]]] = [
+            ("bfs", {}),
+            ("bibfs", {}),
+            ("etc", {"k": k, "time_budget": etc_time_budget}),
+            ("rlc-index", {"k": k}),
         ]
-        try:
-            etc = ExtendedTransitiveClosure.build(
-                graph, k, time_budget=etc_time_budget
-            )
-            engines.append(("ETC", etc.query))
-        except BudgetExceededError:
-            engines.append(("ETC", None))
-        index = build_rlc_index(graph, k)
-        engines.append(("RLC", index.query))
-        for engine_name, query_fn in engines:
-            if query_fn is None:
+        for key, options in specs:
+            label = get_engine_class(key).display_name
+            try:
+                engine = create_engine(key, graph, **options)
+            except BudgetExceededError:
                 table.add_row(
-                    dataset=name, engine=engine_name, true_us=None, false_us=None
+                    dataset=name, engine=label, true_us=None, false_us=None
                 )
                 continue
-            true_us = run_query_set(
-                query_fn, workload.true_queries, time_cap=time_cap
+            true_us = run_engine_query_set(
+                engine, workload.true_queries, time_cap=time_cap
             )
-            false_us = run_query_set(
-                query_fn, workload.false_queries, time_cap=time_cap
+            false_us = run_engine_query_set(
+                engine, workload.false_queries, time_cap=time_cap
             )
             table.add_row(
-                dataset=name, engine=engine_name, true_us=true_us, false_us=false_us
+                dataset=name, engine=label, true_us=true_us, false_us=false_us
             )
     return table
 
@@ -474,11 +474,14 @@ def experiment_table5(
 
     def _engine_call(engine, kind, payload):
         if kind == "rlc":
-            return lambda: engine.query(source, target, payload)
+            query = RlcQuery(source, target, payload)
+            return lambda: engine.query(query)
+        # Extended (concatenated-constraint) queries go straight to the
+        # backend: they are regex evaluations outside the RLC contract.
         expression = " ".join(
             "(" + " ".join(str(x) for x in segment) + ")+" for segment in payload
         )
-        return lambda: engine.query_regex(source, target, expression)
+        return lambda: engine.backend.query_regex(source, target, expression)
 
     rlc_times: Dict[str, object] = {}
     for query_name, kind, payload in queries:
@@ -488,7 +491,8 @@ def experiment_table5(
             _rlc_call(kind, payload), repeats, time_cap
         )
 
-    for engine in all_engines(graph):
+    for engine_key in ("sys1", "sys2", "virtuoso-sim"):
+        engine = create_engine(engine_key, graph)
         for query_name, kind, payload in queries:
             if query_name not in rlc_times:
                 continue
@@ -504,7 +508,7 @@ def experiment_table5(
                 gain = engine_seconds - rlc_seconds
                 bep = int(build_seconds / gain) + 1 if gain > 0 else None
             table.add_row(
-                engine=engine.name,
+                engine=engine.display_name,
                 query=query_name,
                 engine_s=engine_seconds,
                 rlc_s=rlc_seconds,

@@ -7,9 +7,15 @@ Commands:
 - ``query INDEX SOURCE TARGET CONSTRAINT`` — answer one RLC query
   (constraint in the paper's notation, e.g. ``"(debits, credits)+"``);
 - ``workload GRAPH -k K -o FILE`` — generate a verified query workload;
-- ``run INDEX WORKLOAD`` — replay a workload through an index;
+- ``run INDEX WORKLOAD`` — replay a workload through a saved index
+  (batched + cached via the query service);
+- ``engines`` — list the engines in the registry;
+- ``bench GRAPH WORKLOAD --engine NAME`` — run a workload through any
+  registered engine built over a graph file;
 - ``dataset NAME -o GRAPH`` — materialize a Table III stand-in.
 
+All query execution goes through :mod:`repro.engine`: engines are
+constructed by registry name, never via per-engine branching here.
 Graph files may be text edge lists (``source label target`` per line)
 or ``.npz`` archives written by this tool.
 """
@@ -17,12 +23,20 @@ or ``.npz`` archives written by this tool.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import List, Optional
 
 from repro.core import build_rlc_index
 from repro.core.index import RlcIndex
+from repro.engine import (
+    QueryService,
+    RlcIndexEngine,
+    available_engines,
+    create_engine,
+    get_engine_class,
+)
 from repro.errors import ReproError
 from repro.graph import compute_stats, datasets
 from repro.graph.io import load_graph, save_graph_npz, write_edge_list
@@ -116,18 +130,67 @@ def _cmd_workload(args) -> int:
 def _cmd_run(args) -> int:
     index = RlcIndex.load(args.index)
     workload = load_workload(args.workload)
-    started = time.perf_counter()
-    wrong = 0
-    for query, expected in workload.labeled_queries():
-        if index.query(query.source, query.target, query.labels) != expected:
-            wrong += 1
-    elapsed = time.perf_counter() - started
+    engine = RlcIndexEngine.from_index(index)
+    service = QueryService(
+        engine, batch_size=args.batch_size, cache_size=args.cache_size
+    )
+    report = service.run(workload)
+    wrong = len(report.mismatches)
     print(
-        f"{len(workload)} queries in {elapsed * 1e3:.2f} ms "
-        f"({elapsed / max(len(workload), 1) * 1e6:.1f} us/query), "
+        f"{report.total} queries in {report.seconds * 1e3:.2f} ms "
+        f"({report.seconds / max(report.total, 1) * 1e6:.1f} us/query), "
         f"{wrong} wrong answers"
     )
+    print(
+        f"service: {report.batches} batches of <= {args.batch_size}, "
+        f"cache hit rate {report.hit_rate:.0%}"
+    )
     return 0 if wrong == 0 else 1
+
+
+def _cmd_engines(args) -> int:
+    rows = available_engines()
+    width = max(len(key) for key, _, _ in rows)
+    label_width = max(len(label) for _, label, _ in rows)
+    for key, label, description in rows:
+        print(f"{key.ljust(width)}  {label.ljust(label_width)}  {description}")
+    return 0
+
+
+def _engine_options(name: str, offered: dict) -> dict:
+    """Filter offered options against the engine's constructor signature.
+
+    Generic: flags are offered to every engine and filtered against its
+    constructor signature, so adding an engine never adds a branch here.
+    """
+    accepted = inspect.signature(get_engine_class(name).__init__).parameters
+    return {
+        key: value
+        for key, value in offered.items()
+        if key in accepted and value is not None
+    }
+
+
+def _cmd_bench(args) -> int:
+    graph = load_graph(args.graph)
+    workload = load_workload(args.workload)
+    # -k defaults to the workload's recorded bound so a k=3 workload
+    # benches against a k=3 index without re-specifying it.
+    k = args.k if args.k is not None else workload.k
+    options = _engine_options(
+        args.engine, {"k": k, "time_budget": args.time_budget}
+    )
+    engine = create_engine(args.engine, graph, **options)
+    service = QueryService(
+        engine, batch_size=args.batch_size, cache_size=args.cache_size
+    )
+    report = service.run(workload)
+    stats = engine.stats()
+    print(
+        f"prepared {args.engine} over {graph!r} in {stats.prepare_seconds:.2f}s"
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_dataset(args) -> int:
@@ -180,7 +243,27 @@ def _build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="replay a workload through an index")
     run.add_argument("index")
     run.add_argument("workload")
+    run.add_argument("--batch-size", type=int, default=256)
+    run.add_argument("--cache-size", type=int, default=4096)
     run.set_defaults(handler=_cmd_run)
+
+    engines = commands.add_parser("engines", help="list registered engines")
+    engines.set_defaults(handler=_cmd_engines)
+
+    bench = commands.add_parser(
+        "bench", help="run a workload through any registered engine"
+    )
+    bench.add_argument("graph")
+    bench.add_argument("workload")
+    bench.add_argument("--engine", default="rlc-index")
+    bench.add_argument(
+        "-k", type=int, default=None,
+        help="recursive bound (default: the workload's recorded k)",
+    )
+    bench.add_argument("--time-budget", type=float, default=None)
+    bench.add_argument("--batch-size", type=int, default=256)
+    bench.add_argument("--cache-size", type=int, default=4096)
+    bench.set_defaults(handler=_cmd_bench)
 
     dataset = commands.add_parser("dataset", help="materialize a stand-in dataset")
     dataset.add_argument("name", choices=datasets.dataset_names())

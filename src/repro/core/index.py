@@ -31,9 +31,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SerializationError
+from repro.errors import QueryError, SerializationError
 from repro.labels.sequences import LabelDictionary
-from repro.queries import validate_rlc_query
+from repro.queries import RlcQuery, validate_rlc_query
 
 __all__ = ["BuildStats", "RlcIndex"]
 
@@ -41,6 +41,8 @@ Mr = Tuple[int, ...]
 Entry = Tuple[int, Mr]  # (hub access id, minimum repeat)
 
 _FORMAT_VERSION = 1
+
+_NO_HUBS: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -188,6 +190,50 @@ class RlcIndex:
             return True
         return self.query(source, target, labels)
 
+    def query_batch(self, queries: Sequence[RlcQuery]) -> List[bool]:
+        """Batched Algorithm 1: amortize work across a query set.
+
+        Groups the queries by constraint, validates each distinct
+        constraint once, and reuses the per-``MR`` hub lists across
+        queries sharing an ``MR`` — every query then costs two dict
+        probes plus binary searches / one sorted-list intersection
+        instead of full validation and the entry-list merge join.  The
+        unit of execution behind the engine layer's
+        ``RlcIndexEngine.query_batch``; answers match :meth:`query`
+        element-wise.
+        """
+        answers: List[bool] = [False] * len(queries)
+        groups: Dict[Mr, List[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(tuple(query.labels), []).append(position)
+        for labels, positions in groups.items():
+            first = queries[positions[0]]
+            mr = validate_rlc_query(self, first.source, first.target, labels, k=self._k)
+            out_cache: Dict[int, Sequence[int]] = {}
+            in_cache: Dict[int, Sequence[int]] = {}
+            for position in positions:
+                query = queries[position]
+                source, target = query.source, query.target
+                if not 0 <= source < self._num_vertices:
+                    raise QueryError(f"unknown source vertex: {source}")
+                if not 0 <= target < self._num_vertices:
+                    raise QueryError(f"unknown target vertex: {target}")
+                hubs_out = out_cache.get(source)
+                if hubs_out is None:
+                    hubs_out = self.out_hubs(source, mr)
+                    out_cache[source] = hubs_out
+                hubs_in = in_cache.get(target)
+                if hubs_in is None:
+                    hubs_in = self.in_hubs(target, mr)
+                    in_cache[target] = hubs_in
+                if hubs_out and _binary_contains(hubs_out, self._aid[target]):
+                    answers[position] = True
+                elif hubs_in and _binary_contains(hubs_in, self._aid[source]):
+                    answers[position] = True
+                elif hubs_out and hubs_in:
+                    answers[position] = _sorted_intersect(hubs_out, hubs_in)
+        return answers
+
     def _query_merge_join(self, source: int, target: int, mr: Mr) -> bool:
         out_entries = self._out[source]
         in_entries = self._in[target]
@@ -229,23 +275,15 @@ class RlcIndex:
         return False
 
     def _query_hub_lookup(self, source: int, target: int, mr: Mr) -> bool:
-        hubs_out = self._out_by_mr[source].get(mr)
-        hubs_in = self._in_by_mr[target].get(mr)
+        hubs_out = self.out_hubs(source, mr)
+        hubs_in = self.in_hubs(target, mr)
         if hubs_out and _binary_contains(hubs_out, self._aid[target]):
             return True
         if hubs_in and _binary_contains(hubs_in, self._aid[source]):
             return True
         if not hubs_out or not hubs_in:
             return False
-        i = j = 0
-        while i < len(hubs_out) and j < len(hubs_in):
-            if hubs_out[i] < hubs_in[j]:
-                i += 1
-            elif hubs_out[i] > hubs_in[j]:
-                j += 1
-            else:
-                return True
-        return False
+        return _sorted_intersect(hubs_out, hubs_in)
 
     # ------------------------------------------------------------------
     # Entry inspection
@@ -262,6 +300,20 @@ class RlcIndex:
         return tuple(
             (self._order[aid - 1], mr) for aid, mr in self._in[vertex]
         )
+
+    def out_hubs(self, vertex: int, mr: Mr) -> Sequence[int]:
+        """Sorted access ids of hubs with ``(hub, mr)`` in ``Lout(vertex)``.
+
+        The per-``MR`` point-lookup view behind :meth:`query_fast` and
+        :meth:`query_batch`, exposed for callers that want to inspect or
+        intersect a constraint's hub lists themselves.  Returns a
+        read-only empty tuple when the vertex has no entry for ``mr``.
+        """
+        return self._out_by_mr[vertex].get(mr, _NO_HUBS)
+
+    def in_hubs(self, vertex: int, mr: Mr) -> Sequence[int]:
+        """Sorted access ids of hubs with ``(hub, mr)`` in ``Lin(vertex)``."""
+        return self._in_by_mr[vertex].get(mr, _NO_HUBS)
 
     @property
     def num_entries(self) -> int:
@@ -473,6 +525,21 @@ def _entry_key(entry: Entry) -> int:
     return entry[0]
 
 
-def _binary_contains(sorted_list: List[int], value: int) -> bool:
+def _binary_contains(sorted_list: Sequence[int], value: int) -> bool:
     position = bisect_left(sorted_list, value)
     return position < len(sorted_list) and sorted_list[position] == value
+
+
+def _sorted_intersect(left: Sequence[int], right: Sequence[int]) -> bool:
+    """True when two sorted hub lists share an element (merge scan)."""
+    i = j = 0
+    len_left, len_right = len(left), len(right)
+    while i < len_left and j < len_right:
+        a, b = left[i], right[j]
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            return True
+    return False

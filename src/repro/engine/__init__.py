@@ -1,0 +1,61 @@
+"""Unified engine layer: one contract for every RLC answerer.
+
+Everything that can answer an RLC query — the RLC index, the four
+online/materialized baselines, and the three simulated Table V systems
+— is wrapped in the :class:`ReachabilityEngine` contract (``prepare`` /
+``query`` / ``query_batch`` / ``stats``), constructed by name through
+the registry, and served through the batching/caching
+:class:`QueryService`::
+
+    from repro.engine import QueryService, create_engine
+
+    engine = create_engine("rlc-index", graph, k=2)
+    report = QueryService(engine).run(workload)
+    assert report.ok
+
+- :mod:`repro.engine.base` — the protocol and adapter scaffolding;
+- :mod:`repro.engine.adapters` — the eight shipped engines;
+- :mod:`repro.engine.registry` — string-keyed construction;
+- :mod:`repro.engine.service` — batched, cached, verified serving.
+"""
+
+from repro.engine.base import EngineBase, EngineStats, ReachabilityEngine
+from repro.engine.registry import (
+    available_engines,
+    create_engine,
+    engine_names,
+    get_engine_class,
+    register,
+)
+from repro.engine.adapters import (
+    BfsEngine,
+    BiBfsEngine,
+    DfsEngine,
+    EtcEngine,
+    RlcIndexEngine,
+    Sys1Engine,
+    Sys2Engine,
+    VirtuosoSimEngine,
+)
+from repro.engine.service import QueryService, ServiceReport
+
+__all__ = [
+    "BfsEngine",
+    "BiBfsEngine",
+    "DfsEngine",
+    "EngineBase",
+    "EngineStats",
+    "EtcEngine",
+    "QueryService",
+    "ReachabilityEngine",
+    "RlcIndexEngine",
+    "ServiceReport",
+    "Sys1Engine",
+    "Sys2Engine",
+    "VirtuosoSimEngine",
+    "available_engines",
+    "create_engine",
+    "engine_names",
+    "get_engine_class",
+    "register",
+]

@@ -1,0 +1,231 @@
+"""Adapters wrapping every RLC answerer in the engine contract.
+
+Eight engines ship with the library, one per answerer the paper
+evaluates:
+
+==============  =============  ==============================================
+registry key    table label    backend
+==============  =============  ==============================================
+``rlc-index``   RLC            :class:`repro.core.RlcIndex` (Algorithm 1)
+``bfs``         BFS            :class:`repro.baselines.NfaBfs`
+``bibfs``       BiBFS          :class:`repro.baselines.NfaBiBfs`
+``dfs``         DFS            :class:`repro.baselines.NfaDfs`
+``etc``         ETC            :class:`repro.baselines.ExtendedTransitiveClosure`
+``sys1``        Sys1           :class:`repro.bench.engines.Sys1PropertyGraphEngine`
+``sys2``        Sys2           :class:`repro.bench.engines.Sys2RdfEngine`
+``virtuoso-sim``  VirtuosoSim  :class:`repro.bench.engines.VirtuosoSimEngine`
+==============  =============  ==============================================
+
+All adapters inherit the loop-based ``query_batch`` fallback from
+:class:`~repro.engine.base.EngineBase`; :class:`RlcIndexEngine`
+overrides it with a genuinely batched evaluation that groups queries by
+constraint, validates each distinct constraint once, and reuses the
+index's per-``MR`` hub lists across queries sharing an ``MR`` — the
+measured win over query-at-a-time execution is pinned by
+``benchmarks/bench_micro_operations.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines import (
+    ExtendedTransitiveClosure,
+    NfaBfs,
+    NfaBiBfs,
+    NfaDfs,
+)
+from repro.core import build_rlc_index
+from repro.core.index import RlcIndex
+from repro.engine.base import EngineBase
+from repro.engine.registry import register
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.queries import RlcQuery
+
+__all__ = [
+    "BfsEngine",
+    "BiBfsEngine",
+    "DfsEngine",
+    "EtcEngine",
+    "RlcIndexEngine",
+    "Sys1Engine",
+    "Sys2Engine",
+    "VirtuosoSimEngine",
+]
+
+
+@register
+class RlcIndexEngine(EngineBase):
+    """The RLC index (the paper's contribution), with batched execution."""
+
+    name = "rlc-index"
+    display_name = "RLC"
+
+    def __init__(
+        self,
+        *,
+        k: int = 2,
+        strategy: str = "eager",
+        ordering: str = "in-out",
+        time_budget: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self._k = k
+        self._strategy = strategy
+        self._ordering = ordering
+        self._time_budget = time_budget
+
+    @classmethod
+    def from_index(cls, index: RlcIndex) -> "RlcIndexEngine":
+        """Wrap an already-built (e.g. loaded) index; skips prepare()."""
+        engine = cls(k=index.k)
+        engine._backend = index
+        return engine
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> RlcIndex:
+        return build_rlc_index(
+            graph,
+            self._k,
+            strategy=self._strategy,
+            ordering=self._ordering,
+            time_budget=self._time_budget,
+        )
+
+    def _answer(self, index: RlcIndex, source, target, labels) -> bool:
+        return index.query(source, target, labels)
+
+    def _answer_batch(self, index: RlcIndex, queries: List[RlcQuery]) -> List[bool]:
+        """The real batched path: :meth:`RlcIndex.query_batch`.
+
+        The algorithm lives in :mod:`repro.core.index` next to its
+        point-query siblings (one validation per distinct constraint,
+        hub lists reused across queries sharing an ``MR``); the adapter
+        only contributes the engine-contract plumbing.
+        """
+        return index.query_batch(queries)
+
+
+@register
+class BfsEngine(EngineBase):
+    """Online NFA-guided breadth-first traversal (Section III-B)."""
+
+    name = "bfs"
+    display_name = "BFS"
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> NfaBfs:
+        return NfaBfs(graph)
+
+    def _answer(self, backend: NfaBfs, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+
+@register
+class BiBfsEngine(EngineBase):
+    """Bidirectional product BFS, the strongest online baseline."""
+
+    name = "bibfs"
+    display_name = "BiBFS"
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> NfaBiBfs:
+        return NfaBiBfs(graph)
+
+    def _answer(self, backend: NfaBiBfs, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+
+@register
+class DfsEngine(EngineBase):
+    """Depth-first variant of the online traversal baseline."""
+
+    name = "dfs"
+    display_name = "DFS"
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> NfaDfs:
+        return NfaDfs(graph)
+
+    def _answer(self, backend: NfaDfs, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+
+@register
+class EtcEngine(EngineBase):
+    """Extended transitive closure, the materialized extreme (Table IV)."""
+
+    name = "etc"
+    display_name = "ETC"
+
+    def __init__(
+        self,
+        *,
+        k: int = 2,
+        time_budget: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._k = k
+        self._time_budget = time_budget
+        self._max_entries = max_entries
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> ExtendedTransitiveClosure:
+        return ExtendedTransitiveClosure.build(
+            graph,
+            self._k,
+            time_budget=self._time_budget,
+            max_entries=self._max_entries,
+        )
+
+    def _answer(self, backend: ExtendedTransitiveClosure, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+
+class _SimulatedEngineAdapter(EngineBase):
+    """Base for the Table V simulated mainstream systems."""
+
+    def _answer(self, backend, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+
+@register
+class Sys1Engine(_SimulatedEngineAdapter):
+    """Simulated tuple-at-a-time property-graph engine (Table V's Sys1)."""
+
+    name = "sys1"
+    display_name = "Sys1"
+
+    def _prepare(self, graph: EdgeLabeledDigraph):
+        from repro.bench.engines import Sys1PropertyGraphEngine
+
+        return Sys1PropertyGraphEngine(graph)
+
+
+@register
+class Sys2Engine(_SimulatedEngineAdapter):
+    """Simulated set-at-a-time semi-naive RDF engine (Table V's Sys2)."""
+
+    name = "sys2"
+    display_name = "Sys2"
+
+    def _prepare(self, graph: EdgeLabeledDigraph):
+        from repro.bench.engines import Sys2RdfEngine
+
+        return Sys2RdfEngine(graph)
+
+
+@register
+class VirtuosoSimEngine(EngineBase):
+    """Simulated SPARQL-style transitive evaluation (Table V's Virtuoso)."""
+
+    name = "virtuoso-sim"
+    display_name = "VirtuosoSim"
+
+    def _prepare(self, graph: EdgeLabeledDigraph):
+        from repro.bench.engines import VirtuosoSimEngine as _Backend
+
+        return _Backend(graph)
+
+    def _answer(self, backend, source, target, labels) -> bool:
+        return backend.query(source, target, labels)

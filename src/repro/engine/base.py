@@ -1,0 +1,176 @@
+"""The engine contract every RLC answerer satisfies.
+
+Survey work on reachability indexing organizes systems around a single
+engine interface — prepare once, answer point and batched queries, and
+report counters — regardless of whether the answerer is an index, an
+online traversal, or a simulated external system.  This module defines
+that contract for the repro library:
+
+- :class:`ReachabilityEngine` — the structural protocol (``name``,
+  ``prepare``, ``query``, ``query_batch``, ``stats``) that callers such
+  as :class:`repro.engine.QueryService` and the benchmark harness
+  program against;
+- :class:`EngineBase` — the concrete scaffolding adapters inherit:
+  option storage, prepare/query timing, and a loop-based
+  ``query_batch`` fallback that adapters with a real batched path (the
+  RLC index) override.
+
+Adapters for the concrete answerers live in
+:mod:`repro.engine.adapters`; string-keyed construction in
+:mod:`repro.engine.registry`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.errors import EngineError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.queries import RlcQuery
+
+__all__ = ["EngineStats", "EngineBase", "ReachabilityEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Counters every engine maintains (mirrors :class:`BuildStats`)."""
+
+    prepare_seconds: float = 0.0
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    query_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view (used by the benchmark harness and CLI)."""
+        values = {
+            "prepare_seconds": self.prepare_seconds,
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "query_seconds": self.query_seconds,
+        }
+        values.update(self.extra)
+        return values
+
+
+@runtime_checkable
+class ReachabilityEngine(Protocol):
+    """Structural protocol of an RLC query engine.
+
+    ``prepare(graph)`` performs whatever one-time work the engine needs
+    (index construction, closure materialization, nothing for online
+    traversals) and returns the engine itself so construction chains:
+    ``BfsEngine().prepare(graph).query(q)``.
+    """
+
+    name: str
+
+    def prepare(self, graph: EdgeLabeledDigraph) -> "ReachabilityEngine": ...
+
+    def query(self, query: RlcQuery) -> bool: ...
+
+    def query_batch(self, queries: Sequence[RlcQuery]) -> List[bool]: ...
+
+    def stats(self) -> EngineStats: ...
+
+
+class EngineBase:
+    """Shared adapter scaffolding implementing :class:`ReachabilityEngine`.
+
+    Subclasses set ``name`` (the registry key) and ``display_name``
+    (the label used in paper tables), implement ``_prepare(graph)``
+    returning the backend object, and ``_answer(source, target,
+    labels)``.  ``query_batch`` defaults to a loop over ``_answer``;
+    adapters with a genuinely batched evaluation strategy override
+    ``_answer_batch``.
+    """
+
+    name: str = "abstract"
+    display_name: str = "Abstract"
+
+    def __init__(self) -> None:
+        self._graph: Optional[EdgeLabeledDigraph] = None
+        self._backend = None
+        self._stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def prepare(self, graph: EdgeLabeledDigraph) -> "EngineBase":
+        """Bind the engine to ``graph``, building whatever it needs."""
+        started = time.perf_counter()
+        self._backend = self._prepare(graph)
+        self._graph = graph
+        self._stats.prepare_seconds += time.perf_counter() - started
+        return self
+
+    def _prepare(self, graph: EdgeLabeledDigraph):
+        raise NotImplementedError
+
+    @property
+    def prepared(self) -> bool:
+        """True once :meth:`prepare` has run."""
+        return self._backend is not None
+
+    @property
+    def backend(self):
+        """The wrapped answerer (index, traversal evaluator, ...)."""
+        if self._backend is None:
+            raise EngineError(f"engine {self.name!r} used before prepare()")
+        return self._backend
+
+    @property
+    def graph(self) -> EdgeLabeledDigraph:
+        if self._graph is None:
+            raise EngineError(f"engine {self.name!r} used before prepare()")
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, query: RlcQuery) -> bool:
+        """Answer one RLC query, updating the timing counters."""
+        backend = self.backend  # raises before the clock starts
+        started = time.perf_counter()
+        answer = self._answer(backend, query.source, query.target, query.labels)
+        self._stats.query_seconds += time.perf_counter() - started
+        self._stats.queries += 1
+        return answer
+
+    def query_batch(self, queries: Sequence[RlcQuery]) -> List[bool]:
+        """Answer a batch of queries, preserving input order."""
+        backend = self.backend
+        batch = list(queries)
+        started = time.perf_counter()
+        answers = self._answer_batch(backend, batch)
+        self._stats.query_seconds += time.perf_counter() - started
+        self._stats.batches += 1
+        self._stats.batched_queries += len(batch)
+        return answers
+
+    def _answer(self, backend, source: int, target: int, labels) -> bool:
+        raise NotImplementedError
+
+    def _answer_batch(self, backend, queries: List[RlcQuery]) -> List[bool]:
+        """Fallback batched path: a loop over the point query."""
+        return [
+            self._answer(backend, q.source, q.target, q.labels) for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """The engine's cumulative counters (live object, not a copy)."""
+        return self._stats
+
+    def __repr__(self) -> str:
+        state = "prepared" if self.prepared else "unprepared"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"

@@ -1,0 +1,79 @@
+"""String-keyed registry of reachability engines.
+
+Replaces the hand-rolled per-engine dispatch that used to live in
+``cli.py`` and the experiment drivers: callers name an engine
+(``"rlc-index"``, ``"bibfs"``, ``"sys2"`` ...) and get a prepared
+:class:`~repro.engine.base.ReachabilityEngine` back::
+
+    from repro.engine import create_engine
+
+    engine = create_engine("rlc-index", graph, k=2)
+    engine.query(RlcQuery(0, 5, (1, 0)))
+
+All engines shipped with the library register themselves when
+:mod:`repro.engine.adapters` is imported (which the package
+``__init__`` always does); external code can add its own with
+:func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.errors import EngineError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.engine.base import EngineBase
+
+__all__ = [
+    "available_engines",
+    "create_engine",
+    "engine_names",
+    "get_engine_class",
+    "register",
+]
+
+_REGISTRY: Dict[str, Type[EngineBase]] = {}
+
+
+def register(cls: Type[EngineBase]) -> Type[EngineBase]:
+    """Class decorator adding an engine under its ``name`` key."""
+    key = cls.name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise EngineError(f"engine name {key!r} is already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_engine_class(name: str) -> Type[EngineBase]:
+    """Resolve a registry key to its engine class."""
+    key = name.lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise EngineError(f"unknown engine {name!r}; known engines: {known}") from None
+
+
+def create_engine(name: str, graph: EdgeLabeledDigraph, **options) -> EngineBase:
+    """Construct and prepare the named engine over ``graph``.
+
+    ``options`` are forwarded to the engine's constructor (e.g. ``k``
+    for the RLC index and ETC, ``time_budget`` for ETC); an option the
+    engine does not accept raises ``TypeError`` like any bad keyword.
+    """
+    return get_engine_class(name)(**options).prepare(graph)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine keys, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_engines() -> List[Tuple[str, str, str]]:
+    """``(key, display name, one-line description)`` rows for docs/CLI."""
+    rows = []
+    for key in engine_names():
+        cls = _REGISTRY[key]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append((key, cls.display_name, doc[0] if doc else ""))
+    return rows

@@ -1,0 +1,248 @@
+"""A batching, caching query service over any reachability engine.
+
+:class:`QueryService` is the serving-layer entry point the ROADMAP's
+scaling work builds on: it executes workloads in fixed-size batches
+through an engine's ``query_batch`` (so engines with a real batched
+path — the RLC index — amortize validation and hub lookups), memoizes
+answers in a bounded LRU cache, keeps hit-rate and timing counters, and
+verifies answers against the ground truth that workload files carry in
+:attr:`RlcQuery.expected`.
+
+    service = QueryService(create_engine("rlc-index", graph, k=2))
+    report = service.run(workload)
+    assert report.ok and report.hit_rate == 0.0
+    report = service.run(workload)     # fully cached now
+    assert report.hit_rate == 1.0
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.base import EngineBase, EngineStats
+from repro.errors import EngineError
+from repro.queries import RlcQuery
+
+__all__ = ["QueryService", "ServiceReport"]
+
+CacheKey = Tuple[int, int, Tuple[int, ...]]
+
+
+@dataclass
+class ServiceReport:
+    """The outcome of one :meth:`QueryService.run` call."""
+
+    engine_name: str
+    answers: List[bool]
+    seconds: float
+    cache_hits: int
+    cache_misses: int
+    batches: int
+    mismatches: List[Tuple[RlcQuery, bool]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of queries executed."""
+        return len(self.answers)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the result cache."""
+        served = self.cache_hits + self.cache_misses
+        return self.cache_hits / served if served else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Service-level throughput of this run."""
+        return self.total / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def ok(self) -> bool:
+        """True when no answer contradicted a query's expected value."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        """One-line human-readable account (used by the CLI)."""
+        return (
+            f"{self.engine_name}: {self.total} queries in "
+            f"{self.seconds * 1e3:.2f} ms ({self.queries_per_second:.0f} q/s), "
+            f"{self.batches} batches, cache hit rate {self.hit_rate:.0%}, "
+            f"{len(self.mismatches)} wrong answers"
+        )
+
+
+class QueryService:
+    """Batched, cached, verified execution of RLC workloads.
+
+    ``cache_size`` bounds the LRU result cache (0 disables caching);
+    ``batch_size`` bounds how many uncached queries are handed to the
+    engine per ``query_batch`` call.
+    """
+
+    def __init__(
+        self,
+        engine: EngineBase,
+        *,
+        cache_size: int = 4096,
+        batch_size: int = 256,
+    ) -> None:
+        if batch_size < 1:
+            raise EngineError(f"batch_size must be >= 1, got {batch_size}")
+        if cache_size < 0:
+            raise EngineError(f"cache_size must be >= 0, got {cache_size}")
+        self._engine = engine
+        self._cache_size = cache_size
+        self._batch_size = batch_size
+        self._cache: "OrderedDict[CacheKey, bool]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> EngineBase:
+        return self._engine
+
+    def query(self, source: int, target: int, labels) -> bool:
+        """Answer one query through the cache."""
+        query = RlcQuery(source, target, tuple(labels))
+        key = (query.source, query.target, query.labels)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        answer = self._engine.query(query)
+        self._cache_put(key, answer)
+        return answer
+
+    def run(
+        self,
+        queries: Iterable[RlcQuery],
+        *,
+        verify: bool = True,
+    ) -> ServiceReport:
+        """Execute a workload (any iterable of queries) in batches.
+
+        Cached queries are answered without touching the engine; the
+        remainder is executed in ``batch_size`` chunks through
+        ``query_batch``.  With ``verify`` set, answers are checked
+        against each query's ``expected`` attribute (where present) and
+        disagreements are collected on the report — the caller decides
+        whether a mismatch is fatal.
+        """
+        batch = list(queries)
+        answers: List[Optional[bool]] = [None] * len(batch)
+        # With caching on, duplicate uncached queries collapse onto one
+        # in-flight group: the engine evaluates each distinct key once
+        # and the answer fans out to every position that asked for it.
+        # With cache_size=0 the caller asked to measure raw engine
+        # execution, so every occurrence runs individually.
+        pending_groups: List[List[int]] = []
+        group_of: Dict[CacheKey, List[int]] = {}
+        hits = misses = 0
+        started = time.perf_counter()
+        for position, query in enumerate(batch):
+            key = (query.source, query.target, query.labels)
+            cached = self._cache_get(key)
+            if cached is not None:
+                answers[position] = cached
+                hits += 1
+                continue
+            misses += 1
+            if self._cache_size == 0:
+                pending_groups.append([position])
+                continue
+            group = group_of.get(key)
+            if group is None:
+                group = []
+                group_of[key] = group
+                pending_groups.append(group)
+            group.append(position)
+        batches = 0
+        for start in range(0, len(pending_groups), self._batch_size):
+            chunk = pending_groups[start : start + self._batch_size]
+            chunk_answers = self._engine.query_batch(
+                [batch[positions[0]] for positions in chunk]
+            )
+            batches += 1
+            if len(chunk_answers) != len(chunk):
+                raise EngineError(
+                    f"engine {self._engine.name!r} returned "
+                    f"{len(chunk_answers)} answers for {len(chunk)} queries"
+                )
+            for positions, answer in zip(chunk, chunk_answers):
+                query = batch[positions[0]]
+                self._cache_put((query.source, query.target, query.labels), answer)
+                for position in positions:
+                    answers[position] = answer
+        seconds = time.perf_counter() - started
+        self._hits += hits
+        self._misses += misses
+        mismatches: List[Tuple[RlcQuery, bool]] = []
+        if verify:
+            for query, answer in zip(batch, answers):
+                if query.expected is not None and answer != query.expected:
+                    mismatches.append((query, bool(answer)))
+        return ServiceReport(
+            engine_name=self._engine.name,
+            answers=[bool(answer) for answer in answers],
+            seconds=seconds,
+            cache_hits=hits,
+            cache_misses=misses,
+            batches=batches,
+            mismatches=mismatches,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: CacheKey) -> Optional[bool]:
+        answer = self._cache.get(key)
+        if answer is not None:
+            self._cache.move_to_end(key)
+        return answer
+
+    def _cache_put(self, key: CacheKey, answer: bool) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[key] = answer
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop all cached answers (e.g. after the graph changes)."""
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        """Number of answers currently cached."""
+        return len(self._cache)
+
+    def counters(self) -> Dict[str, float]:
+        """Cumulative service counters plus the engine's own stats."""
+        stats: EngineStats = self._engine.stats()
+        served = self._hits + self._misses
+        values: Dict[str, float] = {
+            "cache_hits": self._hits,
+            "cache_misses": self._misses,
+            "hit_rate": self._hits / served if served else 0.0,
+            "cache_len": len(self._cache),
+        }
+        for name, value in stats.as_dict().items():
+            values[f"engine_{name}"] = value
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(engine={self._engine.name!r}, "
+            f"cache={len(self._cache)}/{self._cache_size}, "
+            f"batch_size={self._batch_size})"
+        )

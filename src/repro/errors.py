@@ -40,6 +40,11 @@ class CapabilityError(QueryError):
     """
 
 
+class EngineError(ReproError):
+    """Raised for engine-layer misuse (unknown registry names, duplicate
+    registrations, querying an engine before :meth:`prepare`)."""
+
+
 class SerializationError(ReproError):
     """Raised when loading a persisted graph or index fails."""
 

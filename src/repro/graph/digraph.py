@@ -54,6 +54,7 @@ class EdgeLabeledDigraph:
         "_in",
         "_out_by_label",
         "_in_by_label",
+        "_hash",
         "label_dictionary",
     )
 
@@ -96,6 +97,7 @@ class EdgeLabeledDigraph:
         self._num_labels = int(resolved_labels)
         self.label_dictionary = label_dictionary
 
+        self._hash: Optional[int] = None
         self._out = self._bucket_adjacency(self._sources, self._labels, self._targets)
         self._in = self._bucket_adjacency(self._targets, self._labels, self._sources)
         self._out_by_label = self._partition_by_label(self._out)
@@ -344,3 +346,20 @@ class EdgeLabeledDigraph:
             and np.array_equal(self._labels, other._labels)
             and np.array_equal(self._targets, other._targets)
         )
+
+    def __hash__(self) -> int:
+        # Content hash over the canonical (sorted, de-duplicated) edge
+        # arrays, so equal graphs hash equal and graphs can key the
+        # engine/service caches.  Cached: the graph is immutable and
+        # tobytes() is O(|E|).
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._num_vertices,
+                    self._num_labels,
+                    self._sources.tobytes(),
+                    self._labels.tobytes(),
+                    self._targets.tobytes(),
+                )
+            )
+        return self._hash

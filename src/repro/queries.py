@@ -14,6 +14,7 @@ longer than an index's ``k``).
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -74,12 +75,20 @@ def validate_rlc_query(
         raise QueryError(f"unknown source vertex: {source}")
     if not graph.has_vertex(target):
         raise QueryError(f"unknown target vertex: {target}")
-    label_tuple = tuple(labels)
-    if not label_tuple:
+    raw_labels = tuple(labels)
+    if not raw_labels:
         raise QueryError("RLC constraint must contain at least one label")
-    for label in label_tuple:
-        if not isinstance(label, int) or not 0 <= label < graph.num_labels:
+    normalized = []
+    for label in raw_labels:
+        # Accept any integral type (numpy-loaded workloads carry
+        # np.int64 labels) but reject bools, which are Integral too.
+        if isinstance(label, bool) or not isinstance(label, numbers.Integral):
             raise QueryError(f"unknown label id: {label!r}")
+        value = int(label)
+        if not 0 <= value < graph.num_labels:
+            raise QueryError(f"unknown label id: {label!r}")
+        normalized.append(value)
+    label_tuple = tuple(normalized)
     if not is_primitive(label_tuple):
         raise NonPrimitiveConstraintError(
             f"constraint {format_constraint(label_tuple)} is not a minimum repeat; "

@@ -58,6 +58,20 @@ class QueryWorkload:
         """Distinct ``|L|`` values present, sorted."""
         return tuple(sorted({q.recursive_length for q in self}))
 
+    def batched(self, batch_size: int) -> Iterator[List[RlcQuery]]:
+        """Yield the workload in lists of at most ``batch_size`` queries.
+
+        Convenience for feeding an engine's ``query_batch`` directly
+        (callers going through :class:`repro.engine.QueryService` get
+        chunking there); ordering matches :meth:`__iter__` (true set,
+        then false set).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        queries = list(self)
+        for start in range(0, len(queries), batch_size):
+            yield queries[start : start + batch_size]
+
 
 def save_workload(workload: QueryWorkload, path: PathLike) -> None:
     """Write the workload in the one-query-per-line text format."""

@@ -12,10 +12,32 @@ from repro.bench.harness import (
     format_bytes,
     format_micros,
     format_seconds,
+    run_engine_query_set,
     run_query_set,
     time_call,
 )
 from repro.queries import RlcQuery
+
+
+class _FakeEngine:
+    """Minimal ReachabilityEngine satisfying the harness contract."""
+
+    name = "fake"
+
+    def __init__(self, answer_fn, delay: float = 0.0):
+        self._answer = answer_fn
+        self._delay = delay
+
+    def query(self, query):
+        if self._delay:
+            time.sleep(self._delay)
+        return self._answer(query)
+
+    def query_batch(self, queries):
+        return [self.query(q) for q in queries]
+
+    def stats(self):  # pragma: no cover - protocol completeness
+        return None
 
 
 class TestTimeCall:
@@ -50,6 +72,35 @@ class TestRunQuerySet:
     def test_unlabeled_queries_not_verified(self):
         queries = [RlcQuery(0, 1, (0,))]
         assert run_query_set(lambda s, t, l: True, queries) >= 0
+
+
+class TestRunEngineQuerySet:
+    QUERIES = [RlcQuery(0, 1, (0,), expected=True), RlcQuery(1, 0, (0,), expected=False)]
+
+    def test_total_micros_per_query_mode(self):
+        engine = _FakeEngine(lambda q: q.source == 0)
+        total = run_engine_query_set(engine, self.QUERIES)
+        assert isinstance(total, float) and total >= 0
+
+    def test_batched_mode(self):
+        engine = _FakeEngine(lambda q: q.source == 0)
+        total = run_engine_query_set(engine, self.QUERIES, batch_size=1)
+        assert isinstance(total, float) and total >= 0
+
+    def test_verification_failure(self):
+        engine = _FakeEngine(lambda q: True)
+        with pytest.raises(AssertionError, match="fake"):
+            run_engine_query_set(engine, self.QUERIES)
+        with pytest.raises(AssertionError, match="fake"):
+            run_engine_query_set(engine, self.QUERIES, batch_size=8)
+
+    def test_time_cap(self):
+        engine = _FakeEngine(lambda q: q.source == 0, delay=0.02)
+        assert run_engine_query_set(engine, self.QUERIES, time_cap=0.001) is TIMED_OUT
+        assert (
+            run_engine_query_set(engine, self.QUERIES, time_cap=0.001, batch_size=1)
+            is TIMED_OUT
+        )
 
 
 class TestFormatters:

@@ -92,6 +92,49 @@ class TestWorkloadRoundTrip:
         assert "0 wrong answers" in capsys.readouterr().out
 
 
+class TestEngineCommands:
+    def test_engines_lists_registry(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for key in ("rlc-index", "bfs", "bibfs", "dfs", "etc", "sys1", "sys2", "virtuoso-sim"):
+            assert key in out
+        assert "RLC" in out
+
+    def test_run_reports_service_counters(self, tmp_path, capsys):
+        from repro.graph import datasets
+        from repro.graph.io import save_graph_npz
+
+        graph_path = tmp_path / "ad.npz"
+        save_graph_npz(datasets.load_dataset("AD", scale=0.2), graph_path)
+        workload_path = tmp_path / "w.txt"
+        index_path = tmp_path / "i.npz"
+        main(["workload", str(graph_path), "-k", "2", "--true-queries", "5",
+              "--false-queries", "5", "-o", str(workload_path)])
+        main(["build", str(graph_path), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["run", str(index_path), str(workload_path), "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 wrong answers" in out and "cache hit rate" in out
+
+    @pytest.mark.parametrize("engine", ["rlc-index", "bibfs", "sys2"])
+    def test_bench_any_registered_engine(self, engine, fig2_file, tmp_path, capsys):
+        workload_path = tmp_path / "w.txt"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "5",
+              "--false-queries", "5", "-o", str(workload_path)])
+        capsys.readouterr()
+        assert main(["bench", str(fig2_file), str(workload_path), "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"prepared {engine}" in out and "0 wrong answers" in out
+
+    def test_bench_unknown_engine_is_error(self, fig2_file, tmp_path, capsys):
+        workload_path = tmp_path / "w.txt"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "2",
+              "--false-queries", "2", "-o", str(workload_path)])
+        capsys.readouterr()
+        assert main(["bench", str(fig2_file), str(workload_path), "--engine", "nope"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+
 class TestDataset:
     def test_materialize_npz(self, tmp_path, capsys):
         out = tmp_path / "tw.npz"

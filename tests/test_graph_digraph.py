@@ -193,3 +193,30 @@ class TestLabelNames:
             g.label_id("a")
         with pytest.raises(GraphError, match="no label dictionary"):
             g.label_name(0)
+
+
+class TestHashability:
+    """Regression: ``__eq__`` without ``__hash__`` made graphs unhashable."""
+
+    def test_equal_graphs_hash_equal(self):
+        edges = [(0, 0, 1), (1, 1, 2), (2, 0, 0)]
+        a = EdgeLabeledDigraph(3, edges, num_labels=2)
+        b = EdgeLabeledDigraph(3, reversed(edges), num_labels=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_graphs_hash_differently(self):
+        a = EdgeLabeledDigraph(3, [(0, 0, 1)], num_labels=2)
+        b = EdgeLabeledDigraph(3, [(0, 1, 1)], num_labels=2)
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_usable_as_dict_key(self):
+        edges = [(0, 0, 1), (1, 0, 2)]
+        cache = {EdgeLabeledDigraph(3, edges): "prepared"}
+        assert cache[EdgeLabeledDigraph(3, list(edges))] == "prepared"
+
+    def test_duplicate_edges_do_not_change_hash(self):
+        a = EdgeLabeledDigraph(2, [(0, 0, 1)])
+        b = EdgeLabeledDigraph(2, [(0, 0, 1), (0, 0, 1)])
+        assert a == b and hash(a) == hash(b)

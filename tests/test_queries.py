@@ -79,3 +79,22 @@ class TestValidate:
 
     def test_k_none_means_unbounded(self, graph):
         assert validate_rlc_query(graph, 0, 1, (0, 1)) == (0, 1)
+
+    def test_numpy_integer_labels_accepted(self, graph):
+        """Regression: np.int64 labels (numpy-loaded workloads) validate."""
+        import numpy as np
+
+        result = validate_rlc_query(graph, 0, 2, (np.int64(0), np.int32(1)))
+        assert result == (0, 1)
+        # Normalized to plain ints so they hash/compare like index keys.
+        assert all(type(label) is int for label in result)
+
+    def test_numpy_integer_labels_still_range_checked(self, graph):
+        import numpy as np
+
+        with pytest.raises(QueryError, match="unknown label"):
+            validate_rlc_query(graph, 0, 1, (np.int64(7),))
+
+    def test_bool_labels_rejected(self, graph):
+        with pytest.raises(QueryError, match="unknown label"):
+            validate_rlc_query(graph, 0, 1, (True, False))
