@@ -1,0 +1,225 @@
+"""Engine matrix — every flat engine vs its sharded counterpart.
+
+One multi-component workload (a disjoint union of random blocks plus
+injected cross-component queries, which are False by the WCC soundness
+argument) runs through each flat engine and through
+``sharded:<engine>`` over the same graph.  The table reports per-spec
+prepare time, query-set time and throughput; parity between each
+flat/sharded pair is asserted, not just printed, so the matrix doubles
+as a regression gate for the registry spec grammar and the composite
+engine's routing.
+
+The ``--quick`` mode additionally smoke-runs **every** registry spec
+(the three simulated Table V systems included) on a tiny graph — the
+CI engine-matrix job runs exactly that.
+
+pytest targets time the sharded-vs-flat batched paths on the matrix
+workload.
+
+Full run: ``python benchmarks/bench_engine_matrix.py [--scale S]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.engine import (
+    QueryService,
+    create_engine,
+    engine_names,
+    filter_engine_options,
+)
+from repro.graph.partition import disjoint_union, partition_graph
+from repro.graph.generators import labeled_erdos_renyi
+from repro.queries import RlcQuery
+from repro.workloads import generate_workload
+
+if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import standard_parser
+from repro.bench.harness import ResultTable, format_micros, format_seconds
+
+# Flat spec -> sharded counterpart.  The alias `rlc` keeps the table
+# labels short; `sharded:X?parts=N` merges WCCs into N shards.
+MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("rlc", "sharded:rlc?parts=4"),
+    ("bfs", "sharded:bfs?parts=4"),
+    ("bibfs", "sharded:bibfs?parts=4"),
+    ("dfs", "sharded:dfs?parts=4"),
+    ("etc", "sharded:etc?parts=4"),
+)
+K = 2
+
+
+def build_engine(spec: str, graph):
+    """Create a spec over ``graph``, offering ``k`` like the CLI does."""
+    return create_engine(spec, graph, **filter_engine_options(spec, {"k": K}))
+
+
+def matrix_workload(
+    *, blocks: int = 4, block_vertices: int = 60, queries: int = 200, seed: int = 7
+) -> Tuple["EdgeLabeledDigraph", List[RlcQuery]]:
+    """A multi-component graph plus a workload with cross-shard queries.
+
+    Per-block workloads are generated and translated into the union's
+    vertex ids (so their ground truth carries over), then one explicit
+    cross-component query is injected per block pair — False by
+    construction, exercising the composite engine's short-circuit.
+    """
+    graphs = [
+        labeled_erdos_renyi(block_vertices, 3.0, 2, seed=seed + i)
+        for i in range(blocks)
+    ]
+    union = disjoint_union(graphs)
+    per_block = max(queries // (2 * blocks), 2)
+    workload: List[RlcQuery] = []
+    offset = 0
+    offsets = []
+    for i, graph in enumerate(graphs):
+        offsets.append(offset)
+        block_workload = generate_workload(
+            graph, K, num_true=per_block, num_false=per_block, seed=seed + i
+        )
+        workload.extend(
+            RlcQuery(q.source + offset, q.target + offset, q.labels, expected=q.expected)
+            for q in block_workload
+        )
+        offset += graph.num_vertices
+    for i in range(blocks):
+        for j in range(blocks):
+            if i != j:
+                workload.append(
+                    RlcQuery(offsets[i], offsets[j], (0,), expected=False)
+                )
+    return union, workload
+
+
+def run_matrix(
+    *, blocks: int = 4, block_vertices: int = 60, queries: int = 200, seed: int = 7
+) -> ResultTable:
+    """Run every matrix spec over one workload, asserting parity."""
+    graph, workload = matrix_workload(
+        blocks=blocks, block_vertices=block_vertices, queries=queries, seed=seed
+    )
+    table = ResultTable(
+        title=(
+            f"Engine matrix — |V|={graph.num_vertices}, "
+            f"{partition_graph(graph).num_shards} components, "
+            f"{len(workload)} queries"
+        ),
+        columns=["engine", "prepare", "query_set", "q/s", "wrong"],
+        formatters={
+            "prepare": format_seconds,
+            "query_set": format_micros,
+            "q/s": lambda v: f"{v:,.0f}" if v else "-",
+        },
+    )
+    answers = {}
+    for flat_spec, sharded_spec in MATRIX:
+        for spec in (flat_spec, sharded_spec):
+            engine = build_engine(spec, graph)
+            report = QueryService(engine, cache_size=0).run(workload)
+            answers[spec] = report.answers
+            table.add_row(
+                engine=spec,
+                prepare=engine.stats().prepare_seconds,
+                query_set=report.seconds * 1e6,
+                **{"q/s": report.queries_per_second, "wrong": len(report.mismatches)},
+            )
+        if answers[sharded_spec] != answers[flat_spec]:
+            raise AssertionError(
+                f"{sharded_spec} disagrees with {flat_spec} on the matrix workload"
+            )
+    table.notes.append(
+        "sharded:<engine> answers are asserted identical to <engine>; "
+        "cross-component queries short-circuit to False in the composite"
+    )
+    return table
+
+
+def run_registry_smoke(*, block_vertices: int = 8) -> ResultTable:
+    """Tiny-graph smoke over every registry spec (CI's engine-matrix job)."""
+    graph, workload = matrix_workload(
+        blocks=2, block_vertices=block_vertices, queries=8, seed=3
+    )
+    specs = list(engine_names()) + ["sharded:rlc?parts=2", "sharded:bibfs"]
+    table = ResultTable(
+        title=f"Registry smoke — every spec over |V|={graph.num_vertices}",
+        columns=["engine", "query_set", "wrong"],
+        formatters={"query_set": format_micros},
+    )
+    for spec in specs:
+        engine = build_engine(spec, graph)
+        report = QueryService(engine, cache_size=0, workers=2).run(workload)
+        if not report.ok:
+            raise AssertionError(f"{spec} answered {len(report.mismatches)} wrong")
+        table.add_row(
+            engine=spec, query_set=report.seconds * 1e6, wrong=len(report.mismatches)
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# pytest targets
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    return matrix_workload(blocks=3, block_vertices=20, queries=60, seed=5)
+
+
+@pytest.mark.parametrize("spec", ["rlc", "sharded:rlc?parts=3"])
+def test_rlc_flat_vs_sharded_batch(benchmark, small_case, spec):
+    graph, workload = small_case
+    engine = build_engine(spec, graph)
+    benchmark(engine.query_batch, workload)
+
+
+@pytest.mark.parametrize("spec", ["bibfs", "sharded:bibfs?parts=3"])
+def test_bibfs_flat_vs_sharded_batch(benchmark, small_case, spec):
+    graph, workload = small_case
+    engine = build_engine(spec, graph)
+    benchmark(engine.query_batch, workload)
+
+
+def test_matrix_parity_and_table_shape():
+    table = run_matrix(blocks=3, block_vertices=15, queries=30, seed=11)
+    assert len(table.rows) == 2 * len(MATRIX)
+    assert all(row["wrong"] == 0 for row in table.rows)
+    rendered = table.render()
+    assert "sharded:rlc" in rendered and "q/s" in rendered
+
+
+def test_registry_smoke_covers_every_spec():
+    table = run_registry_smoke(block_vertices=5)
+    listed = [row["engine"] for row in table.rows]
+    assert set(engine_names()) <= set(listed)
+    assert any(spec.startswith("sharded:") for spec in listed)
+
+
+def main() -> None:
+    parser = standard_parser(__doc__)
+    parser.add_argument(
+        "--blocks", type=int, default=4, help="number of graph components"
+    )
+    args = parser.parse_args()
+    if args.quick:
+        run_registry_smoke().print()
+        run_matrix(blocks=3, block_vertices=25, queries=60).print()
+    else:
+        run_matrix(
+            blocks=args.blocks,
+            block_vertices=int(120 * args.scale),
+            queries=args.queries,
+        ).print()
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,15 @@ from repro.errors import (
     ReproError,
     SerializationError,
 )
-from repro.graph import EdgeLabeledDigraph, GraphBuilder, compute_stats
+from repro.graph import (
+    EdgeLabeledDigraph,
+    GraphBuilder,
+    GraphPartition,
+    compute_stats,
+    disjoint_union,
+    partition_graph,
+    weakly_connected_components,
+)
 from repro.labels import (
     LabelDictionary,
     is_primitive,
@@ -59,12 +67,13 @@ from repro.engine import (
     QueryService,
     ReachabilityEngine,
     ServiceReport,
+    ShardedEngine,
     available_engines,
     create_engine,
     engine_names,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BudgetExceededError",
@@ -79,6 +88,7 @@ __all__ = [
     "ExtendedTransitiveClosure",
     "GraphBuilder",
     "GraphError",
+    "GraphPartition",
     "LabelDictionary",
     "Nfa",
     "QueryService",
@@ -94,17 +104,21 @@ __all__ = [
     "RlcIndexBuilder",
     "RlcQuery",
     "SerializationError",
+    "ShardedEngine",
     "available_engines",
     "build_rlc_index",
     "compile_regex",
     "compute_stats",
     "constraint_automaton",
     "create_engine",
+    "disjoint_union",
     "engine_names",
     "is_primitive",
     "kernel_decomposition",
     "minimum_repeat",
     "parse_regex",
+    "partition_graph",
     "validate_rlc_query",
+    "weakly_connected_components",
     "__version__",
 ]

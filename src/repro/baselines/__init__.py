@@ -11,11 +11,14 @@ The paper compares the RLC index against:
   every reachable pair with its set of k-bounded minimum repeats,
   built by unpruned forward kernel-based search.
 
-All evaluators share the ``query(source, target, labels)`` protocol and
-additionally support arbitrary regular expressions through
-``query_regex`` where meaningful.
+All evaluators share the ``query(source, target, labels)`` protocol
+plus a grouped ``query_batch`` (one constraint validation and one
+compiled NFA per distinct constraint — see
+:mod:`repro.baselines.batch`), and additionally support arbitrary
+regular expressions through ``query_regex`` where meaningful.
 """
 
+from repro.baselines.batch import batched_product_queries
 from repro.baselines.bfs import NfaBfs, evaluate_nfa_bfs
 from repro.baselines.bibfs import NfaBiBfs, evaluate_nfa_bibfs
 from repro.baselines.dfs import NfaDfs, evaluate_nfa_dfs
@@ -26,6 +29,7 @@ __all__ = [
     "NfaBfs",
     "NfaBiBfs",
     "NfaDfs",
+    "batched_product_queries",
     "evaluate_nfa_bfs",
     "evaluate_nfa_bibfs",
     "evaluate_nfa_dfs",

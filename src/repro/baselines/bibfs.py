@@ -110,6 +110,12 @@ class NfaBiBfs:
             self._graph, source, target, constraint_automaton(label_tuple)
         )
 
+    def query_batch(self, queries) -> List[bool]:
+        """Batched evaluation: one compiled NFA per distinct constraint."""
+        from repro.baselines.batch import batched_product_queries
+
+        return batched_product_queries(self._graph, queries, evaluate_nfa_bibfs)
+
     def query_star(self, source: int, target: int, labels: Sequence[int]) -> bool:
         """Evaluate ``(source, target, labels*)`` (reduces to Kleene plus)."""
         if source == target:

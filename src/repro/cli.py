@@ -8,14 +8,16 @@ Commands:
   (constraint in the paper's notation, e.g. ``"(debits, credits)+"``);
 - ``workload GRAPH -k K -o FILE`` — generate a verified query workload;
 - ``run INDEX WORKLOAD`` — replay a workload through a saved index
-  (batched + cached via the query service);
-- ``engines`` — list the engines in the registry;
-- ``bench GRAPH WORKLOAD --engine NAME`` — run a workload through any
-  registered engine built over a graph file;
+  (batched + cached via the query service; ``--workers N`` executes
+  batches concurrently);
+- ``engines`` — list the engines in the registry and the spec grammar;
+- ``bench GRAPH WORKLOAD --engine SPEC`` — run a workload through any
+  registered engine spec built over a graph file (bare names like
+  ``bibfs`` or parameterized specs like ``sharded:rlc?parts=4``);
 - ``dataset NAME -o GRAPH`` — materialize a Table III stand-in.
 
 All query execution goes through :mod:`repro.engine`: engines are
-constructed by registry name, never via per-engine branching here.
+constructed by registry name/spec, never via per-engine branching here.
 Graph files may be text edge lists (``source label target`` per line)
 or ``.npz`` archives written by this tool.
 """
@@ -23,7 +25,6 @@ or ``.npz`` archives written by this tool.
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 from typing import List, Optional
@@ -35,7 +36,7 @@ from repro.engine import (
     RlcIndexEngine,
     available_engines,
     create_engine,
-    get_engine_class,
+    filter_engine_options,
 )
 from repro.errors import ReproError
 from repro.graph import compute_stats, datasets
@@ -132,7 +133,10 @@ def _cmd_run(args) -> int:
     workload = load_workload(args.workload)
     engine = RlcIndexEngine.from_index(index)
     service = QueryService(
-        engine, batch_size=args.batch_size, cache_size=args.cache_size
+        engine,
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+        workers=args.workers,
     )
     report = service.run(workload)
     wrong = len(report.mismatches)
@@ -154,41 +158,42 @@ def _cmd_engines(args) -> int:
     label_width = max(len(label) for _, label, _ in rows)
     for key, label, description in rows:
         print(f"{key.ljust(width)}  {label.ljust(label_width)}  {description}")
+    print()
+    print("spec grammar: name[:inner][?key=value&...], alias rlc -> rlc-index")
+    print("e.g. sharded:rlc?parts=4 (four WCC-merged shards, RLC index each)")
     return 0
-
-
-def _engine_options(name: str, offered: dict) -> dict:
-    """Filter offered options against the engine's constructor signature.
-
-    Generic: flags are offered to every engine and filtered against its
-    constructor signature, so adding an engine never adds a branch here.
-    """
-    accepted = inspect.signature(get_engine_class(name).__init__).parameters
-    return {
-        key: value
-        for key, value in offered.items()
-        if key in accepted and value is not None
-    }
 
 
 def _cmd_bench(args) -> int:
     graph = load_graph(args.graph)
     workload = load_workload(args.workload)
     # -k defaults to the workload's recorded bound so a k=3 workload
-    # benches against a k=3 index without re-specifying it.
+    # benches against a k=3 index without re-specifying it.  Flags are
+    # offered to every engine spec and filtered against its constructor
+    # signature, so adding an engine never adds a branch here.
     k = args.k if args.k is not None else workload.k
-    options = _engine_options(
+    options = filter_engine_options(
         args.engine, {"k": k, "time_budget": args.time_budget}
     )
     engine = create_engine(args.engine, graph, **options)
     service = QueryService(
-        engine, batch_size=args.batch_size, cache_size=args.cache_size
+        engine,
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+        workers=args.workers,
     )
     report = service.run(workload)
     stats = engine.stats()
     print(
         f"prepared {args.engine} over {graph!r} in {stats.prepare_seconds:.2f}s"
     )
+    shards = stats.extra.get("shards")
+    if shards:
+        print(
+            f"partition: {int(shards)} shards, largest "
+            f"{int(stats.extra['largest_shard_vertices'])} vertices, "
+            f"{int(stats.extra['cross_shard_queries'])} cross-shard queries"
+        )
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -245,6 +250,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("--batch-size", type=int, default=256)
     run.add_argument("--cache-size", type=int, default=4096)
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for batch execution (default 1 = serial)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     engines = commands.add_parser("engines", help="list registered engines")
@@ -255,7 +264,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("graph")
     bench.add_argument("workload")
-    bench.add_argument("--engine", default="rlc-index")
+    bench.add_argument(
+        "--engine", default="rlc-index",
+        help="engine spec, e.g. bibfs or sharded:rlc?parts=4",
+    )
     bench.add_argument(
         "-k", type=int, default=None,
         help="recursive bound (default: the workload's recorded k)",
@@ -263,6 +275,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--time-budget", type=float, default=None)
     bench.add_argument("--batch-size", type=int, default=256)
     bench.add_argument("--cache-size", type=int, default=4096)
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for batch execution (default 1 = serial)",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     dataset = commands.add_parser("dataset", help="materialize a stand-in dataset")

@@ -1,21 +1,24 @@
 """Unified engine layer: one contract for every RLC answerer.
 
 Everything that can answer an RLC query — the RLC index, the four
-online/materialized baselines, and the three simulated Table V systems
-— is wrapped in the :class:`ReachabilityEngine` contract (``prepare`` /
-``query`` / ``query_batch`` / ``stats``), constructed by name through
-the registry, and served through the batching/caching
-:class:`QueryService`::
+online/materialized baselines, the three simulated Table V systems,
+and the sharded composite over any of them — is wrapped in the
+:class:`ReachabilityEngine` contract (``prepare`` / ``query`` /
+``query_batch`` / ``stats``), constructed by name (or parameterized
+spec) through the registry, and served through the batching/caching,
+optionally concurrent :class:`QueryService`::
 
     from repro.engine import QueryService, create_engine
 
-    engine = create_engine("rlc-index", graph, k=2)
-    report = QueryService(engine).run(workload)
+    engine = create_engine("sharded:rlc?parts=4", graph, k=2)
+    report = QueryService(engine, workers=4).run(workload)
     assert report.ok
 
 - :mod:`repro.engine.base` — the protocol and adapter scaffolding;
-- :mod:`repro.engine.adapters` — the eight shipped engines;
-- :mod:`repro.engine.registry` — string-keyed construction;
+- :mod:`repro.engine.adapters` — the eight flat engines;
+- :mod:`repro.engine.composite` — the partitioned :class:`ShardedEngine`;
+- :mod:`repro.engine.registry` — string-keyed construction and the
+  ``name[:inner][?key=value&...]`` spec grammar;
 - :mod:`repro.engine.service` — batched, cached, verified serving.
 """
 
@@ -24,8 +27,13 @@ from repro.engine.registry import (
     available_engines,
     create_engine,
     engine_names,
+    filter_engine_options,
     get_engine_class,
+    parse_engine_spec,
     register,
+    register_alias,
+    resolve_engine_spec,
+    spec_parameter_names,
 )
 from repro.engine.adapters import (
     BfsEngine,
@@ -37,6 +45,7 @@ from repro.engine.adapters import (
     Sys2Engine,
     VirtuosoSimEngine,
 )
+from repro.engine.composite import ShardedEngine
 from repro.engine.service import QueryService, ServiceReport
 
 __all__ = [
@@ -50,12 +59,18 @@ __all__ = [
     "ReachabilityEngine",
     "RlcIndexEngine",
     "ServiceReport",
+    "ShardedEngine",
     "Sys1Engine",
     "Sys2Engine",
     "VirtuosoSimEngine",
     "available_engines",
     "create_engine",
     "engine_names",
+    "filter_engine_options",
     "get_engine_class",
+    "parse_engine_spec",
     "register",
+    "register_alias",
+    "resolve_engine_spec",
+    "spec_parameter_names",
 ]

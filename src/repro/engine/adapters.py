@@ -16,13 +16,19 @@ registry key    table label    backend
 ``virtuoso-sim``  VirtuosoSim  :class:`repro.bench.engines.VirtuosoSimEngine`
 ==============  =============  ==============================================
 
-All adapters inherit the loop-based ``query_batch`` fallback from
-:class:`~repro.engine.base.EngineBase`; :class:`RlcIndexEngine`
-overrides it with a genuinely batched evaluation that groups queries by
-constraint, validates each distinct constraint once, and reuses the
-index's per-``MR`` hub lists across queries sharing an ``MR`` — the
-measured win over query-at-a-time execution is pinned by
-``benchmarks/bench_micro_operations.py``.
+Every non-simulated adapter has a genuinely batched ``query_batch``:
+:class:`RlcIndexEngine` groups queries by constraint, validates each
+distinct constraint once, and reuses the index's per-``MR`` hub lists
+across queries sharing an ``MR`` (the measured win over query-at-a-time
+execution is pinned by ``benchmarks/bench_micro_operations.py``); the
+traversal baselines (BFS/DFS/BiBFS) and ETC apply the same grouping —
+one constraint validation and one compiled NFA (resp. one validated
+lookup key) per distinct constraint, via
+:func:`repro.baselines.batch.batched_product_queries` and
+:meth:`ExtendedTransitiveClosure.query_batch`.  The three simulated
+Table V systems keep the loop fallback from
+:class:`~repro.engine.base.EngineBase` — batching is not part of what
+they simulate.
 """
 
 from __future__ import annotations
@@ -122,6 +128,10 @@ class BfsEngine(EngineBase):
     def _answer(self, backend: NfaBfs, source, target, labels) -> bool:
         return backend.query(source, target, labels)
 
+    def _answer_batch(self, backend: NfaBfs, queries: List[RlcQuery]) -> List[bool]:
+        """Grouped batched path: one NFA per distinct constraint."""
+        return backend.query_batch(queries)
+
 
 @register
 class BiBfsEngine(EngineBase):
@@ -136,6 +146,10 @@ class BiBfsEngine(EngineBase):
     def _answer(self, backend: NfaBiBfs, source, target, labels) -> bool:
         return backend.query(source, target, labels)
 
+    def _answer_batch(self, backend: NfaBiBfs, queries: List[RlcQuery]) -> List[bool]:
+        """Grouped batched path: one NFA per distinct constraint."""
+        return backend.query_batch(queries)
+
 
 @register
 class DfsEngine(EngineBase):
@@ -149,6 +163,10 @@ class DfsEngine(EngineBase):
 
     def _answer(self, backend: NfaDfs, source, target, labels) -> bool:
         return backend.query(source, target, labels)
+
+    def _answer_batch(self, backend: NfaDfs, queries: List[RlcQuery]) -> List[bool]:
+        """Grouped batched path: one NFA per distinct constraint."""
+        return backend.query_batch(queries)
 
 
 @register
@@ -170,6 +188,10 @@ class EtcEngine(EngineBase):
         self._time_budget = time_budget
         self._max_entries = max_entries
 
+    @property
+    def k(self) -> int:
+        return self._k
+
     def _prepare(self, graph: EdgeLabeledDigraph) -> ExtendedTransitiveClosure:
         return ExtendedTransitiveClosure.build(
             graph,
@@ -180,6 +202,12 @@ class EtcEngine(EngineBase):
 
     def _answer(self, backend: ExtendedTransitiveClosure, source, target, labels) -> bool:
         return backend.query(source, target, labels)
+
+    def _answer_batch(
+        self, backend: ExtendedTransitiveClosure, queries: List[RlcQuery]
+    ) -> List[bool]:
+        """Grouped batched path: one constraint validation per group."""
+        return backend.query_batch(queries)
 
 
 class _SimulatedEngineAdapter(EngineBase):

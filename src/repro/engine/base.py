@@ -22,6 +22,7 @@ Adapters for the concrete answerers live in
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
@@ -96,6 +97,10 @@ class EngineBase:
         self._graph: Optional[EdgeLabeledDigraph] = None
         self._backend = None
         self._stats = EngineStats()
+        # Engines are read-only after prepare(), so concurrent callers
+        # (QueryService with workers > 1) only contend on the counters;
+        # this lock keeps their read-modify-write updates exact.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -139,8 +144,10 @@ class EngineBase:
         backend = self.backend  # raises before the clock starts
         started = time.perf_counter()
         answer = self._answer(backend, query.source, query.target, query.labels)
-        self._stats.query_seconds += time.perf_counter() - started
-        self._stats.queries += 1
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._stats.query_seconds += elapsed
+            self._stats.queries += 1
         return answer
 
     def query_batch(self, queries: Sequence[RlcQuery]) -> List[bool]:
@@ -149,9 +156,11 @@ class EngineBase:
         batch = list(queries)
         started = time.perf_counter()
         answers = self._answer_batch(backend, batch)
-        self._stats.query_seconds += time.perf_counter() - started
-        self._stats.batches += 1
-        self._stats.batched_queries += len(batch)
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._stats.query_seconds += elapsed
+            self._stats.batches += 1
+            self._stats.batched_queries += len(batch)
         return answers
 
     def _answer(self, backend, source: int, target: int, labels) -> bool:

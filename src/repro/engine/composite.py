@@ -1,0 +1,257 @@
+"""The sharded composite engine: partition, index per shard, route.
+
+:class:`ShardedEngine` implements the :class:`ReachabilityEngine`
+contract by composition: ``prepare`` partitions the graph with
+:func:`repro.graph.partition.partition_graph`, builds one *inner*
+engine (any registry spec — ``rlc-index``, ``bfs``, even a nested
+``sharded:...``) over each shard's induced subgraph, and ``query`` /
+``query_batch`` route by shard membership.
+
+**Soundness of cross-shard False.** The engine only serves *lossless*
+partitions (``cut_edges == 0``; every WCC partition qualifies, merged
+or not).  In a lossless partition each shard is a union of weakly
+connected components, so every path of the original graph lies inside
+exactly one shard's induced subgraph and no path joins vertices of
+different shards.  An RLC answer is witnessed by a path; therefore a
+query whose endpoints share a shard has the same answer on the shard's
+subgraph as on the whole graph, and a query whose endpoints live in
+different shards is unconditionally **false**.  A lossy (hash)
+partition breaks both halves of this argument, so ``prepare`` raises
+:class:`~repro.errors.EngineError` rather than answer unsoundly.
+
+What sharding buys, exactly as in partitioned/landmark designs from
+the reachability-index literature (FERRARI-style budgeted per-partition
+indexes): index construction splits into independent per-shard builds
+over smaller graphs, cross-shard queries short-circuit without touching
+any index, and per-shard engines stay read-only after prepare so the
+concurrent :class:`~repro.engine.service.QueryService` can fan batches
+out across shards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.base import EngineBase, EngineStats
+from repro.engine.registry import register, register_alias, resolve_engine_spec
+from repro.errors import EngineError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.partition import GraphPartition, partition_graph
+from repro.queries import RlcQuery, group_queries_by_constraint, validate_rlc_query
+
+__all__ = ["ShardedEngine"]
+
+
+class _ShardedBackend:
+    """Prepared state of a :class:`ShardedEngine`: partition + engines."""
+
+    __slots__ = ("partition", "engines", "cross_shard_queries")
+
+    def __init__(
+        self, partition: GraphPartition, engines: Tuple[EngineBase, ...]
+    ) -> None:
+        self.partition = partition
+        self.engines = engines
+        self.cross_shard_queries = 0
+
+    @property
+    def capability_k(self):
+        """The shared recursive bound of the inner engines, if they have one.
+
+        Used to validate cross-shard queries exactly as the flat inner
+        engine would (a too-long constraint raises ``CapabilityError``
+        even when the routed answer would be an immediate False).
+        """
+        return getattr(self.engines[0], "k", None) if self.engines else None
+
+
+@register
+class ShardedEngine(EngineBase):
+    """Partitioned composite: one inner engine per graph shard.
+
+    Constructor options:
+
+    - ``inner`` — registry spec of the per-shard engine (default
+      ``"rlc-index"``);
+    - ``parts`` — target shard count; ``None`` means one shard per
+      weakly connected component;
+    - ``method`` — partition method (see :func:`partition_graph`); only
+      lossless partitions are served, so ``"wcc"`` is the method that
+      works on every graph;
+    - remaining keyword options are forwarded to the inner engine
+      **verbatim**: an option the inner engine does not accept raises
+      ``TypeError``, exactly as it would on the flat engine, so a
+      misspelled spec parameter cannot silently build a
+      differently-configured engine.  Callers offering one option set
+      to many specs (the CLI, the benchmark matrix) pre-filter with
+      :func:`repro.engine.registry.filter_engine_options`, which
+      follows the inner chain.
+
+    Registry specs spell the same thing inline: ``sharded:rlc?parts=4``.
+    """
+
+    name = "sharded"
+    display_name = "Sharded"
+
+    def __init__(
+        self,
+        *,
+        inner: str = "rlc-index",
+        parts=None,
+        method: str = "wcc",
+        **inner_options,
+    ) -> None:
+        super().__init__()
+        self._inner_spec = str(inner)
+        self._parts = parts
+        self._method = method
+        self._inner_options = inner_options
+
+    @property
+    def inner_spec(self) -> str:
+        """The registry spec each shard's engine is built from."""
+        return self._inner_spec
+
+    @property
+    def k(self):
+        """The inner engines' shared recursive bound, or None.
+
+        Exposed so composites nest without losing capability checks:
+        an outer ``ShardedEngine`` reads its inner engines' ``k`` the
+        same way it would read a flat RLC/ETC engine's.
+        """
+        return self.backend.capability_k
+
+    @property
+    def partition(self) -> GraphPartition:
+        """The graph partition (available once prepared)."""
+        return self.backend.partition
+
+    @property
+    def shard_engines(self) -> Tuple[EngineBase, ...]:
+        """The prepared per-shard inner engines (available once prepared)."""
+        return self.backend.engines
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _prepare(self, graph: EdgeLabeledDigraph) -> _ShardedBackend:
+        partition = partition_graph(graph, self._parts, method=self._method)
+        if not partition.lossless:
+            raise EngineError(
+                f"partition method {self._method!r} cut "
+                f"{partition.cut_edges} edges; a sharded engine over a lossy "
+                "partition would answer unsoundly — use method='wcc'"
+            )
+        inner_cls, inner_options = resolve_engine_spec(
+            self._inner_spec, **self._inner_options
+        )
+        if inner_cls is ShardedEngine and "inner" not in inner_options:
+            raise EngineError(
+                "nested sharded engine needs an explicit inner spec, "
+                "e.g. 'sharded:sharded:bfs'"
+            )
+        engines = tuple(
+            inner_cls(**inner_options).prepare(shard.subgraph)
+            for shard in partition.shards
+        )
+        return _ShardedBackend(partition, engines)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _answer(
+        self, backend: _ShardedBackend, source: int, target: int, labels
+    ) -> bool:
+        # Validate against the *global* graph first so malformed queries
+        # raise exactly as the flat inner engine would, whatever shard
+        # (or pair of shards) the endpoints land in.
+        label_tuple = validate_rlc_query(
+            self.graph, source, target, labels, k=backend.capability_k
+        )
+        partition = backend.partition
+        source_shard = partition.shard_id(source)
+        if source_shard != partition.shard_id(target):
+            with self._stats_lock:
+                backend.cross_shard_queries += 1
+            return False
+        shard = partition.shards[source_shard]
+        return backend.engines[source_shard].query(
+            RlcQuery(shard.to_local(source), shard.to_local(target), label_tuple)
+        )
+
+    def _answer_batch(
+        self, backend: _ShardedBackend, queries: List[RlcQuery]
+    ) -> List[bool]:
+        """Route a batch: group by shard, one inner ``query_batch`` each.
+
+        Constraint validation is amortized like the inner engines do it
+        (:func:`repro.queries.group_queries_by_constraint` — one
+        :func:`validate_rlc_query` per distinct constraint, vertex
+        checks per query); cross-shard queries are answered False after
+        validation without reaching any inner engine.
+        """
+        answers: List[bool] = [False] * len(queries)
+        partition = backend.partition
+        per_shard: Dict[int, Tuple[List[int], List[RlcQuery]]] = {}
+        cross_shard = 0
+        for label_tuple, positions in group_queries_by_constraint(
+            self.graph, queries, k=backend.capability_k
+        ):
+            for position in positions:
+                query = queries[position]
+                source_shard = partition.shard_id(query.source)
+                if source_shard != partition.shard_id(query.target):
+                    cross_shard += 1
+                    continue
+                shard = partition.shards[source_shard]
+                routed_positions, routed = per_shard.setdefault(
+                    source_shard, ([], [])
+                )
+                routed_positions.append(position)
+                routed.append(
+                    RlcQuery(
+                        shard.to_local(query.source),
+                        shard.to_local(query.target),
+                        label_tuple,
+                    )
+                )
+        for shard_index, (positions, routed) in per_shard.items():
+            shard_answers = backend.engines[shard_index].query_batch(routed)
+            for position, answer in zip(positions, shard_answers):
+                answers[position] = answer
+        if cross_shard:
+            with self._stats_lock:
+                backend.cross_shard_queries += cross_shard
+        return answers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Composite counters plus per-shard aggregates in ``extra``."""
+        stats = self._stats
+        backend = self._backend
+        if backend is not None:
+            inner = [engine.stats() for engine in backend.engines]
+            sizes = backend.partition.shard_sizes()
+            stats.extra.update(
+                {
+                    "shards": float(len(backend.engines)),
+                    "largest_shard_vertices": float(max(sizes, default=0)),
+                    "cut_edges": float(backend.partition.cut_edges),
+                    "cross_shard_queries": float(backend.cross_shard_queries),
+                    "inner_prepare_seconds": sum(s.prepare_seconds for s in inner),
+                    "inner_queries": float(
+                        sum(s.queries + s.batched_queries for s in inner)
+                    ),
+                    "inner_query_seconds": sum(s.query_seconds for s in inner),
+                }
+            )
+        return stats
+
+
+register_alias("rlc", "rlc-index")

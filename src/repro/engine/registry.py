@@ -1,4 +1,4 @@
-"""String-keyed registry of reachability engines.
+"""String-keyed registry of reachability engines, with parameterized specs.
 
 Replaces the hand-rolled per-engine dispatch that used to live in
 ``cli.py`` and the experiment drivers: callers name an engine
@@ -10,14 +10,31 @@ Replaces the hand-rolled per-engine dispatch that used to live in
     engine = create_engine("rlc-index", graph, k=2)
     engine.query(RlcQuery(0, 5, (1, 0)))
 
+Beyond bare names, the registry parses **engine specs**::
+
+    spec    := name [":" inner] ["?" params]
+    params  := key "=" value ("&" key "=" value)*
+
+- ``name`` is a registry key or alias (``rlc`` aliases ``rlc-index``);
+- ``:inner`` names an inner engine for composite engines and becomes
+  the ``inner`` constructor option (itself a spec, so composites nest);
+- ``?key=value`` pairs become constructor options with values coerced
+  to int/float/bool where they parse as one.  Params always bind to the
+  outermost engine, which forwards what its inner engine accepts.
+
+So ``create_engine("sharded:rlc?parts=4", graph, k=2)`` builds a
+:class:`~repro.engine.composite.ShardedEngine` over four shards, each
+served by an RLC index with ``k=2``.
+
 All engines shipped with the library register themselves when
-:mod:`repro.engine.adapters` is imported (which the package
-``__init__`` always does); external code can add its own with
-:func:`register`.
+:mod:`repro.engine.adapters` / :mod:`repro.engine.composite` are
+imported (which the package ``__init__`` always does); external code
+can add its own with :func:`register`.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, List, Tuple, Type
 
 from repro.errors import EngineError
@@ -28,25 +45,97 @@ __all__ = [
     "available_engines",
     "create_engine",
     "engine_names",
+    "filter_engine_options",
     "get_engine_class",
+    "parse_engine_spec",
     "register",
+    "register_alias",
+    "resolve_engine_spec",
+    "spec_parameter_names",
 ]
 
 _REGISTRY: Dict[str, Type[EngineBase]] = {}
+_ALIASES: Dict[str, str] = {}
 
 
 def register(cls: Type[EngineBase]) -> Type[EngineBase]:
     """Class decorator adding an engine under its ``name`` key."""
     key = cls.name.lower()
+    if key in _ALIASES:
+        raise EngineError(f"engine name {key!r} is already an alias")
     if key in _REGISTRY and _REGISTRY[key] is not cls:
         raise EngineError(f"engine name {key!r} is already registered")
     _REGISTRY[key] = cls
     return cls
 
 
+def register_alias(alias: str, name: str) -> None:
+    """Register ``alias`` as an alternate key for engine ``name``.
+
+    Aliases resolve everywhere a name does (specs included) but are not
+    listed by :func:`engine_names` / :func:`available_engines`.
+    """
+    key = alias.lower()
+    target = name.lower()
+    if target not in _REGISTRY:
+        raise EngineError(f"cannot alias unknown engine {name!r}")
+    if key in _REGISTRY:
+        raise EngineError(f"alias {alias!r} shadows a registered engine")
+    existing = _ALIASES.get(key)
+    if existing is not None and existing != target:
+        raise EngineError(f"alias {alias!r} is already bound to {existing!r}")
+    _ALIASES[key] = target
+
+
+def _coerce(value: str):
+    """Parse a spec parameter value: int, float, bool, else string."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(value)
+        except ValueError:
+            continue
+    return value
+
+
+def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Split an engine spec into ``(base_name, options)``.
+
+    Grammar (module docstring): ``name[:inner][?key=value[&...]]``.
+    The inner part, when present, is returned as ``options["inner"]``
+    verbatim (it may itself be a spec).
+    """
+    text = spec.strip()
+    options: Dict[str, object] = {}
+    if "?" in text:
+        text, _, params = text.partition("?")
+        for pair in params.split("&"):
+            if not pair:
+                continue
+            key, separator, value = pair.partition("=")
+            if not separator or not key:
+                raise EngineError(
+                    f"malformed engine spec parameter {pair!r} in {spec!r} "
+                    "(expected key=value)"
+                )
+            options[key.strip()] = _coerce(value.strip())
+    if ":" in text:
+        text, _, inner = text.partition(":")
+        if not inner:
+            raise EngineError(f"engine spec {spec!r} has an empty inner engine")
+        options["inner"] = inner.strip()
+    name = text.strip().lower()
+    if not name:
+        raise EngineError(f"engine spec {spec!r} has an empty engine name")
+    return name, options
+
+
 def get_engine_class(name: str) -> Type[EngineBase]:
-    """Resolve a registry key to its engine class."""
-    key = name.lower()
+    """Resolve a registry key, alias, or spec to its engine class."""
+    key, _ = parse_engine_spec(name)
+    key = _ALIASES.get(key, key)
     try:
         return _REGISTRY[key]
     except KeyError:
@@ -54,18 +143,96 @@ def get_engine_class(name: str) -> Type[EngineBase]:
         raise EngineError(f"unknown engine {name!r}; known engines: {known}") from None
 
 
+def resolve_engine_spec(
+    spec: str, **options
+) -> Tuple[Type[EngineBase], Dict[str, object]]:
+    """Resolve a spec to ``(engine class, merged constructor options)``.
+
+    Spec parameters win over the keyword ``options`` (the spec is the
+    more explicit request); the merged dict is what
+    :func:`create_engine` passes to the constructor.
+    """
+    key, spec_options = parse_engine_spec(spec)
+    cls = get_engine_class(key)
+    merged = dict(options)
+    merged.update(spec_options)
+    return cls, merged
+
+
+def spec_parameter_names(spec: str) -> set:
+    """Named constructor parameters accepted anywhere in a spec's chain.
+
+    For flat specs this is the engine constructor's keyword parameters.
+    For composites, ``**kwargs`` means "forwarded to the inner engine",
+    so the chain is followed — through explicit ``:inner`` parts or the
+    constructor's declared ``inner`` default — down to the innermost
+    engine, and the union of all named parameters is returned.
+    """
+    names: set = set()
+    seen: set = set()
+    current: str = spec
+    while current is not None and current not in seen:
+        seen.add(current)
+        cls, options = resolve_engine_spec(current)
+        parameters = inspect.signature(cls.__init__).parameters
+        names.update(
+            name
+            for name, parameter in parameters.items()
+            if name != "self"
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        inner = options.get("inner")
+        if (
+            inner is None
+            and "inner" in parameters
+            and parameters["inner"].default is not inspect.Parameter.empty
+        ):
+            inner = parameters["inner"].default
+        current = str(inner) if (accepts_kwargs and inner) else None
+    return names
+
+
+def filter_engine_options(spec: str, offered: Dict) -> Dict:
+    """Drop offered options nothing in the spec's engine chain accepts.
+
+    Lets callers (the CLI, the benchmark matrix) offer one option set
+    to every spec: ``None`` values and keywords no constructor in the
+    chain names are discarded, so ``k`` reaches ``sharded:rlc`` but is
+    dropped for ``sharded:bfs``.  This filtering is for *generic*
+    offers only — options passed explicitly (in a spec or as keyword
+    arguments) are forwarded verbatim and raise ``TypeError`` when
+    misspelled.
+    """
+    accepted = spec_parameter_names(spec)
+    return {
+        key: value
+        for key, value in offered.items()
+        if value is not None and key in accepted
+    }
+
+
 def create_engine(name: str, graph: EdgeLabeledDigraph, **options) -> EngineBase:
-    """Construct and prepare the named engine over ``graph``.
+    """Construct and prepare the engine named by a key, alias, or spec.
 
     ``options`` are forwarded to the engine's constructor (e.g. ``k``
     for the RLC index and ETC, ``time_budget`` for ETC); an option the
     engine does not accept raises ``TypeError`` like any bad keyword.
+    Spec parameters (``"sharded:rlc?parts=4"``) override ``options``.
     """
-    return get_engine_class(name)(**options).prepare(graph)
+    cls, merged = resolve_engine_spec(name, **options)
+    return cls(**merged).prepare(graph)
 
 
 def engine_names() -> Tuple[str, ...]:
-    """All registered engine keys, sorted."""
+    """All registered engine keys, sorted (aliases excluded)."""
     return tuple(sorted(_REGISTRY))
 
 

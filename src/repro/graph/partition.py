@@ -1,0 +1,332 @@
+"""Graph sharding: weakly-connected-component partitioning.
+
+The RLC index (and every other answerer in the repo) is built and
+queried per-graph, but none of its entries ever cross a weakly
+connected component: a path — and therefore an RLC witness — lives
+entirely inside one WCC.  The reachability-index literature (FERRARI's
+budgeted per-partition indexes, landmark/partitioned 2-hop variants)
+uses exactly this observation to scale index construction: partition,
+index each part independently, route queries.
+
+This module provides the graph-layer half of that design:
+
+- :func:`weakly_connected_components` — union-find WCCs;
+- :func:`partition_graph` — a :class:`GraphPartition`: vertex → shard
+  map plus per-shard induced subgraphs with stable vertex relabeling.
+  The primary method (``"wcc"``) merges components into a requested
+  number of size-balanced shards and **never cuts an edge**; the
+  ``"hash"`` fallback splits arbitrary graphs (including a single giant
+  WCC) at the price of cut edges, recorded on the partition;
+- :func:`disjoint_union` — compose graphs into one multi-component
+  graph (the generator used by sharding tests and benchmarks).
+
+**Soundness.** For a partition with ``cut_edges == 0`` (every WCC
+partition, merged or not), any path of the original graph is a path of
+exactly one shard's induced subgraph, and vertices in different shards
+are mutually unreachable.  Hence an RLC query routes to the shard
+holding both endpoints and is answered there verbatim, and a query
+whose endpoints live in different shards is **false** — no engine ever
+needs to look across shards.  A lossy (hash) partition offers no such
+guarantee, which is why :class:`repro.engine.ShardedEngine` refuses it.
+
+Engine-layer routing lives in :mod:`repro.engine.composite`.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+
+__all__ = [
+    "GraphPartition",
+    "GraphShard",
+    "disjoint_union",
+    "partition_graph",
+    "weakly_connected_components",
+]
+
+PARTITION_METHODS = ("wcc", "hash")
+
+
+def weakly_connected_components(graph: EdgeLabeledDigraph) -> List[List[int]]:
+    """The weakly connected components of ``graph``, as sorted vertex lists.
+
+    Edge direction and labels are ignored; isolated vertices form
+    singleton components.  Components are ordered by their smallest
+    vertex, so the result is deterministic.
+    """
+    n = graph.num_vertices
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    sources, _, targets = graph.edge_arrays()
+    for u, v in zip(sources.tolist(), targets.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+
+    buckets: Dict[int, List[int]] = {}
+    for vertex in range(n):
+        buckets.setdefault(find(vertex), []).append(vertex)
+    return [buckets[root] for root in sorted(buckets)]
+
+
+@dataclass(frozen=True)
+class GraphShard:
+    """One shard of a :class:`GraphPartition`.
+
+    ``vertices`` holds the shard's global vertex ids in ascending order;
+    local ids are their positions in that tuple, so relabeling is stable
+    across runs.  ``subgraph`` is the induced subgraph over the shard's
+    vertices with local ids ``0 .. len(vertices) - 1`` and the parent
+    graph's label alphabet (and dictionary) unchanged.
+    """
+
+    index: int
+    vertices: Tuple[int, ...]
+    subgraph: EdgeLabeledDigraph
+    # Derived from `vertices`; excluded from eq/hash so frozen-dataclass
+    # hashing works (a dict field would make the shard unhashable).
+    _global_to_local: Dict[int, int] = field(compare=False)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def to_local(self, vertex: int) -> int:
+        """Translate a global vertex id into this shard's local id."""
+        try:
+            return self._global_to_local[vertex]
+        except KeyError:
+            raise GraphError(
+                f"vertex {vertex} is not in shard {self.index}"
+            ) from None
+
+    def to_global(self, local: int) -> int:
+        """Translate a local vertex id back to the global id."""
+        if not 0 <= local < len(self.vertices):
+            raise GraphError(
+                f"local vertex {local} out of range for shard {self.index}"
+            )
+        return self.vertices[local]
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._global_to_local
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(index={self.index}, |V|={self.num_vertices}, "
+            f"|E|={self.subgraph.num_edges})"
+        )
+
+
+class GraphPartition:
+    """A partition of an :class:`EdgeLabeledDigraph` into vertex shards.
+
+    Built by :func:`partition_graph`; holds the vertex → shard map, the
+    per-shard induced subgraphs, and the number of edges the partition
+    cut (edges whose endpoints land in different shards — always 0 for
+    WCC partitions).  ``lossless`` is the soundness predicate the
+    composite engine checks before serving.
+    """
+
+    def __init__(
+        self,
+        graph: EdgeLabeledDigraph,
+        shards: Sequence[GraphShard],
+        shard_of: np.ndarray,
+        *,
+        cut_edges: int,
+        method: str,
+    ) -> None:
+        self.graph = graph
+        self.shards: Tuple[GraphShard, ...] = tuple(shards)
+        self._shard_of = shard_of
+        self.cut_edges = int(cut_edges)
+        self.method = method
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def lossless(self) -> bool:
+        """True when no edge crosses a shard boundary.
+
+        Exactly then each shard's induced subgraph preserves every path
+        touching its vertices, and cross-shard pairs are unreachable.
+        """
+        return self.cut_edges == 0
+
+    def shard_id(self, vertex: int) -> int:
+        """The shard index holding (global) ``vertex``."""
+        if not 0 <= vertex < self.graph.num_vertices:
+            raise GraphError(f"unknown vertex: {vertex}")
+        return int(self._shard_of[vertex])
+
+    def shard_of(self, vertex: int) -> GraphShard:
+        """The :class:`GraphShard` holding (global) ``vertex``."""
+        return self.shards[self.shard_id(vertex)]
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Vertex count per shard, in shard order."""
+        return tuple(shard.num_vertices for shard in self.shards)
+
+    def __repr__(self) -> str:
+        sizes = list(self.shard_sizes())
+        return (
+            f"GraphPartition(method={self.method!r}, shards={self.num_shards}, "
+            f"sizes={sizes}, cut_edges={self.cut_edges})"
+        )
+
+
+def _balanced_merge(
+    components: List[List[int]], num_parts: int
+) -> List[List[int]]:
+    """Merge components into ``num_parts`` size-balanced vertex groups.
+
+    Greedy longest-processing-time bin packing: components are placed
+    largest-first onto the currently smallest shard, which keeps shard
+    sizes within a factor ~4/3 of optimal and is deterministic (ties
+    broken by shard index).
+    """
+    groups: List[List[int]] = [[] for _ in range(num_parts)]
+    order = sorted(
+        range(len(components)), key=lambda i: (-len(components[i]), i)
+    )
+    for component_index in order:
+        smallest = min(range(num_parts), key=lambda i: (len(groups[i]), i))
+        groups[smallest].extend(components[component_index])
+    for group in groups:
+        group.sort()
+    return [group for group in groups if group]
+
+
+def partition_graph(
+    graph: EdgeLabeledDigraph,
+    num_parts: Optional[int] = None,
+    *,
+    method: str = "wcc",
+) -> GraphPartition:
+    """Partition ``graph`` into vertex shards with induced subgraphs.
+
+    ``method="wcc"`` (default) groups whole weakly connected components
+    and never cuts an edge: with ``num_parts`` unset each component is
+    its own shard; otherwise components are merged size-balanced into
+    ``min(num_parts, #components)`` shards (a connected graph therefore
+    yields one shard — splitting a component would cut edges and break
+    the soundness argument of the module docstring).
+
+    ``method="hash"`` assigns vertex ``v`` to shard ``v % num_parts``
+    regardless of connectivity; edges whose endpoints land in different
+    shards are dropped from the induced subgraphs and counted in
+    ``cut_edges``.  Use it to study partition quality, not to serve
+    queries (the composite engine rejects lossy partitions).
+    """
+    if method not in PARTITION_METHODS:
+        raise GraphError(
+            f"unknown partition method {method!r}; choose from {PARTITION_METHODS}"
+        )
+    if num_parts is not None:
+        # Reject non-integral counts (e.g. a float from a `parts=2.5`
+        # engine spec) with a library error instead of letting range()
+        # raise a raw TypeError deep inside the merge.
+        if isinstance(num_parts, bool) or not isinstance(num_parts, numbers.Integral):
+            raise GraphError(f"num_parts must be an integer, got {num_parts!r}")
+        num_parts = int(num_parts)
+        if num_parts < 1:
+            raise GraphError(f"num_parts must be >= 1, got {num_parts}")
+
+    if method == "wcc":
+        components = weakly_connected_components(graph)
+        if num_parts is None or num_parts >= len(components):
+            groups = components
+        else:
+            groups = _balanced_merge(components, num_parts)
+    else:
+        if num_parts is None:
+            raise GraphError("hash partitioning requires num_parts")
+        parts = min(num_parts, max(graph.num_vertices, 1))
+        groups = [list(range(shard, graph.num_vertices, parts)) for shard in range(parts)]
+
+    shard_of = np.full(graph.num_vertices, -1, dtype=np.int64)
+    for shard_index, group in enumerate(groups):
+        shard_of[group] = shard_index
+
+    # One pass over the edge arrays routes every edge to its shard (or
+    # to the cut when its endpoints disagree).
+    shard_edges: List[List[Tuple[int, int, int]]] = [[] for _ in groups]
+    cut_edges = 0
+    sources, labels, targets = graph.edge_arrays()
+    shard_sources = shard_of[sources] if sources.size else shard_of[:0]
+    shard_targets = shard_of[targets] if targets.size else shard_of[:0]
+    local_of: Dict[int, int] = {}
+    for group in groups:
+        local_of.update({vertex: local for local, vertex in enumerate(group)})
+    for u, label, v, su, sv in zip(
+        sources.tolist(),
+        labels.tolist(),
+        targets.tolist(),
+        shard_sources.tolist(),
+        shard_targets.tolist(),
+    ):
+        if su != sv:
+            cut_edges += 1
+            continue
+        shard_edges[su].append((local_of[u], label, local_of[v]))
+
+    shards = []
+    for shard_index, group in enumerate(groups):
+        subgraph = EdgeLabeledDigraph(
+            len(group),
+            shard_edges[shard_index],
+            num_labels=graph.num_labels,
+            label_dictionary=graph.label_dictionary,
+        )
+        shards.append(
+            GraphShard(
+                index=shard_index,
+                vertices=tuple(group),
+                subgraph=subgraph,
+                _global_to_local={v: i for i, v in enumerate(group)},
+            )
+        )
+    return GraphPartition(
+        graph, shards, shard_of, cut_edges=cut_edges, method=method
+    )
+
+
+def disjoint_union(graphs: Iterable[EdgeLabeledDigraph]) -> EdgeLabeledDigraph:
+    """Compose graphs into one graph with vertex ids offset per block.
+
+    Block ``i``'s vertices are shifted by the total vertex count of the
+    blocks before it; labels keep their ids, so the union's alphabet is
+    the largest input alphabet.  The inverse of a WCC partition when
+    the inputs are connected — the generator behind multi-component
+    sharding tests and :mod:`benchmarks.bench_engine_matrix`.
+    """
+    graph_list = list(graphs)
+    if not graph_list:
+        raise GraphError("disjoint_union needs at least one graph")
+    edges: List[Tuple[int, int, int]] = []
+    offset = 0
+    num_labels = 0
+    for graph in graph_list:
+        for u, label, v in graph.edges():
+            edges.append((u + offset, label, v + offset))
+        offset += graph.num_vertices
+        num_labels = max(num_labels, graph.num_labels)
+    return EdgeLabeledDigraph(offset, edges, num_labels=num_labels)

@@ -9,21 +9,23 @@ for some ``z >= 1``.
 :class:`RlcQuery` is the value object used across the library;
 :func:`validate_rlc_query` centralizes the error taxonomy (unknown
 vertices, empty constraints, non-primitive constraints, constraints
-longer than an index's ``k``).
+longer than an index's ``k``); :func:`group_queries_by_constraint` is
+the shared scaffold of every grouped batched path (validate each
+distinct constraint once, check the remaining endpoints per query).
 """
 
 from __future__ import annotations
 
 import numbers
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CapabilityError, NonPrimitiveConstraintError, QueryError
 from repro.graph.digraph import EdgeLabeledDigraph
 from repro.labels.minimum_repeat import is_primitive
 from repro.labels.sequences import format_constraint
 
-__all__ = ["RlcQuery", "validate_rlc_query"]
+__all__ = ["RlcQuery", "group_queries_by_constraint", "validate_rlc_query"]
 
 
 @dataclass(frozen=True)
@@ -100,3 +102,36 @@ def validate_rlc_query(
             f"with recursive k={k}"
         )
     return label_tuple
+
+
+def group_queries_by_constraint(
+    graph: EdgeLabeledDigraph,
+    queries: Sequence[RlcQuery],
+    *,
+    k: Optional[int] = None,
+) -> List[Tuple[Tuple[int, ...], List[int]]]:
+    """Group query positions by distinct constraint, validating once each.
+
+    The common scaffold of the grouped batched paths (the traversal
+    baselines, ETC, the sharded composite): per distinct constraint the
+    full :func:`validate_rlc_query` runs once — through the group's
+    first query — and the remaining queries only pay endpoint checks,
+    so a malformed batch raises exactly the errors its point queries
+    would.  Returns ``(validated label tuple, positions)`` pairs; the
+    positions of all pairs partition ``range(len(queries))``.
+    """
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for position, query in enumerate(queries):
+        groups.setdefault(tuple(query.labels), []).append(position)
+    validated: List[Tuple[Tuple[int, ...], List[int]]] = []
+    for labels, positions in groups.items():
+        first = queries[positions[0]]
+        label_tuple = validate_rlc_query(graph, first.source, first.target, labels, k=k)
+        for position in positions[1:]:
+            query = queries[position]
+            if not graph.has_vertex(query.source):
+                raise QueryError(f"unknown source vertex: {query.source}")
+            if not graph.has_vertex(query.target):
+                raise QueryError(f"unknown target vertex: {query.target}")
+        validated.append((label_tuple, positions))
+    return validated

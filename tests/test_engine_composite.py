@@ -1,0 +1,178 @@
+"""Tests for the sharded composite engine (:mod:`repro.engine.composite`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryService, ShardedEngine, create_engine
+from repro.errors import (
+    CapabilityError,
+    EngineError,
+    NonPrimitiveConstraintError,
+    QueryError,
+)
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.partition import disjoint_union
+from repro.queries import RlcQuery
+
+
+@pytest.fixture(scope="module")
+def multi():
+    """Three components: a labeled 2-cycle, a 3-path, a self-loop vertex."""
+    return EdgeLabeledDigraph(
+        8,
+        [
+            (0, 0, 1), (1, 1, 0),            # component A: 2-cycle
+            (2, 0, 3), (3, 0, 4), (4, 1, 2),  # component B: 3-cycle
+            (5, 0, 6),                        # component C: edge
+            (7, 0, 7),                        # component D: self-loop
+        ],
+        num_labels=2,
+    )
+
+
+class TestRouting:
+    def test_same_shard_queries_route_to_inner_engine(self, multi):
+        engine = create_engine("sharded:bfs", multi)
+        assert engine.query(RlcQuery(0, 0, (0, 1))) is True
+        assert engine.query(RlcQuery(2, 2, (0, 0, 1))) is True
+        assert engine.query(RlcQuery(7, 7, (0,))) is True  # single self-loop shard
+        assert engine.query(RlcQuery(5, 6, (0,))) is True
+
+    def test_cross_shard_queries_are_false_and_counted(self, multi):
+        engine = create_engine("sharded:bfs", multi)
+        assert engine.query(RlcQuery(0, 7, (0,))) is False
+        assert engine.query(RlcQuery(5, 2, (0,))) is False
+        batched = engine.query_batch(
+            [RlcQuery(0, 4, (0,)), RlcQuery(1, 0, (1,)), RlcQuery(6, 7, (0,))]
+        )
+        assert batched == [False, True, False]
+        assert engine.stats().extra["cross_shard_queries"] == 4.0
+
+    def test_parts_merge_components(self, multi):
+        engine = create_engine("sharded:bfs?parts=2", multi)
+        assert len(engine.shard_engines) == 2
+        assert engine.partition.lossless
+        # Merged shards still answer identically.
+        assert engine.query(RlcQuery(2, 4, (0,))) is True
+        assert engine.query(RlcQuery(0, 7, (0,))) is False
+
+    def test_nested_sharding(self, multi):
+        engine = create_engine("sharded:sharded:bfs?parts=2", multi)
+        assert engine.query(RlcQuery(1, 0, (1,))) is True
+        assert engine.query(RlcQuery(0, 5, (0,))) is False
+
+    def test_bare_nested_sharded_rejected(self, multi):
+        with pytest.raises(EngineError, match="nested sharded"):
+            create_engine("sharded:sharded", multi)
+
+
+class TestValidation:
+    """Malformed queries raise exactly like the flat inner engine."""
+
+    def test_unknown_vertices_raise_even_cross_shard(self, multi):
+        engine = create_engine("sharded:bfs", multi)
+        with pytest.raises(QueryError, match="unknown source"):
+            engine.query(RlcQuery(99, 0, (0,)))
+        with pytest.raises(QueryError, match="unknown target"):
+            engine.query_batch([RlcQuery(0, 99, (0,))])
+
+    def test_non_primitive_constraint_raises(self, multi):
+        engine = create_engine("sharded:bfs", multi)
+        with pytest.raises(NonPrimitiveConstraintError):
+            engine.query(RlcQuery(0, 7, (0, 0)))
+
+    def test_capability_error_propagates_from_inner_k(self, multi):
+        engine = create_engine("sharded:rlc", multi, k=1)
+        assert engine.k == 1
+        # Cross-shard pair, but the constraint exceeds the inner k: the
+        # flat rlc engine would raise, so the composite must too.
+        with pytest.raises(CapabilityError):
+            engine.query(RlcQuery(0, 7, (0, 1)))
+        with pytest.raises(CapabilityError):
+            engine.query_batch([RlcQuery(0, 7, (0, 1))])
+
+    def test_capability_error_survives_nesting(self, multi):
+        # ShardedEngine exposes its inner engines' k, so a nested
+        # composite still validates over-k cross-shard queries.
+        engine = create_engine("sharded:sharded:rlc?parts=2", multi, k=1)
+        assert engine.k == 1
+        with pytest.raises(CapabilityError):
+            engine.query(RlcQuery(0, 7, (0, 1)))
+        with pytest.raises(CapabilityError):
+            engine.query_batch([RlcQuery(0, 7, (0, 1))])
+        # Inner engines without a bound report None, nested or not.
+        assert create_engine("sharded:sharded:bfs?parts=2", multi).k is None
+
+    def test_lossy_partition_refused(self):
+        graph = EdgeLabeledDigraph(4, [(0, 0, 1), (1, 0, 2), (2, 0, 3)], num_labels=1)
+        with pytest.raises(EngineError, match="unsound"):
+            create_engine("sharded:bfs?parts=2&method=hash", graph)
+
+
+class TestOptionsAndStats:
+    def test_inner_options_forwarded_verbatim(self, multi):
+        rlc = create_engine("sharded:rlc?parts=2", multi, k=1)
+        assert all(engine.k == 1 for engine in rlc.shard_engines)
+        # Explicit options the inner engine does not accept raise like
+        # they would on the flat engine — nothing is silently dropped.
+        with pytest.raises(TypeError, match="k"):
+            create_engine("sharded:bfs?parts=2", multi, k=1)
+
+    def test_misspelled_spec_option_raises(self, multi):
+        with pytest.raises(TypeError, match="part"):
+            create_engine("sharded:rlc?part=2", multi)
+
+    def test_non_integer_parts_rejected_cleanly(self, multi):
+        from repro.errors import GraphError, ReproError
+
+        with pytest.raises(GraphError, match="integer"):
+            create_engine("sharded:rlc?parts=2.5", multi)
+        # ... which the CLI's `except ReproError` handler can catch.
+        assert issubclass(GraphError, ReproError)
+
+    def test_stats_aggregate_shards(self, multi):
+        engine = create_engine("sharded:rlc", multi, k=2)
+        engine.query(RlcQuery(0, 0, (0, 1)))
+        engine.query(RlcQuery(0, 7, (0,)))
+        stats = engine.stats().as_dict()
+        assert stats["shards"] == 4.0
+        assert stats["cut_edges"] == 0.0
+        assert stats["largest_shard_vertices"] == 3.0
+        assert stats["cross_shard_queries"] == 1.0
+        # Only the same-shard query reached an inner engine.
+        assert stats["inner_queries"] == 1.0
+        assert stats["inner_prepare_seconds"] > 0.0
+
+    def test_unprepared_engine_raises(self):
+        engine = ShardedEngine(inner="bfs")
+        with pytest.raises(EngineError, match="before prepare"):
+            engine.query(RlcQuery(0, 1, (0,)))
+
+
+class TestThroughService:
+    def test_sharded_engine_serves_through_query_service(self, multi):
+        engine = create_engine("sharded:bibfs", multi)
+        queries = [
+            RlcQuery(0, 0, (0, 1), expected=True),
+            RlcQuery(0, 7, (0,), expected=False),
+            RlcQuery(2, 4, (0,), expected=True),
+            RlcQuery(7, 7, (0,), expected=True),
+        ]
+        report = QueryService(engine).run(queries)
+        assert report.ok
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_concurrent_service_matches_serial(self, multi, workers):
+        queries = []
+        for source in range(multi.num_vertices):
+            for target in range(multi.num_vertices):
+                queries.append(RlcQuery(source, target, (0,)))
+                queries.append(RlcQuery(source, target, (0, 1)))
+        flat = create_engine("bfs", multi)
+        expected = [flat.query(q) for q in queries]
+        engine = create_engine("sharded:bfs", multi)
+        report = QueryService(
+            engine, workers=workers, batch_size=8, cache_size=0
+        ).run(queries, verify=False)
+        assert report.answers == expected

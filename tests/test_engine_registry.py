@@ -8,21 +8,28 @@ from repro.engine import (
     EngineBase,
     ReachabilityEngine,
     RlcIndexEngine,
+    ShardedEngine,
     available_engines,
     create_engine,
     engine_names,
     get_engine_class,
+    parse_engine_spec,
     register,
+    register_alias,
+    resolve_engine_spec,
 )
 from repro.errors import BudgetExceededError, EngineError
 from repro.queries import RlcQuery
 
-ALL_ENGINES = ("bfs", "bibfs", "dfs", "etc", "rlc-index", "sys1", "sys2", "virtuoso-sim")
+ALL_ENGINES = (
+    "bfs", "bibfs", "dfs", "etc", "rlc-index", "sharded", "sys1", "sys2",
+    "virtuoso-sim",
+)
 NEEDS_K = {"rlc-index": {"k": 2}, "etc": {"k": 2}}
 
 
 class TestRegistry:
-    def test_all_eight_answerers_registered(self):
+    def test_all_nine_answerers_registered(self):
         assert engine_names() == ALL_ENGINES
 
     @pytest.mark.parametrize("name", ALL_ENGINES)
@@ -59,7 +66,76 @@ class TestRegistry:
         assert [key for key, _, _ in rows] == list(ALL_ENGINES)
         by_key = {key: (label, doc) for key, label, doc in rows}
         assert by_key["rlc-index"][0] == "RLC"
+        assert by_key["sharded"][0] == "Sharded"
         assert all(doc for _, doc in by_key.values())
+
+
+class TestSpecs:
+    def test_bare_name(self):
+        assert parse_engine_spec("bibfs") == ("bibfs", {})
+
+    def test_inner_and_params(self):
+        name, options = parse_engine_spec("sharded:rlc?parts=4&method=wcc")
+        assert name == "sharded"
+        assert options == {"inner": "rlc", "parts": 4, "method": "wcc"}
+
+    def test_param_value_coercion(self):
+        _, options = parse_engine_spec("etc?k=3&time_budget=0.5&flag=true&s=x")
+        assert options == {"k": 3, "time_budget": 0.5, "flag": True, "s": "x"}
+
+    def test_nested_inner_spec_kept_verbatim(self):
+        name, options = parse_engine_spec("sharded:sharded:bfs?parts=2")
+        assert name == "sharded"
+        assert options["inner"] == "sharded:bfs"
+        assert options["parts"] == 2
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(EngineError, match="key=value"):
+            parse_engine_spec("sharded:rlc?parts")
+
+    def test_empty_inner_rejected(self):
+        with pytest.raises(EngineError, match="empty inner"):
+            parse_engine_spec("sharded:?parts=2")
+
+    def test_get_engine_class_accepts_specs(self):
+        assert get_engine_class("sharded:rlc?parts=4") is ShardedEngine
+        assert get_engine_class("rlc") is RlcIndexEngine  # alias
+
+    def test_resolve_merges_spec_over_kwargs(self):
+        cls, options = resolve_engine_spec("sharded:bfs?parts=2", parts=9, k=2)
+        assert cls is ShardedEngine
+        assert options["parts"] == 2  # spec wins
+        assert options["k"] == 2
+
+    def test_create_engine_from_spec(self, fig2):
+        engine = create_engine("sharded:bibfs?parts=1", fig2)
+        assert engine.name == "sharded"
+        assert engine.inner_spec == "bibfs"
+        assert engine.query(RlcQuery(2, 5, (1, 0))) is True
+
+    def test_alias_resolves_everywhere_but_is_not_listed(self, fig2):
+        assert "rlc" not in engine_names()
+        engine = create_engine("rlc", fig2, k=2)
+        assert engine.name == "rlc-index"
+
+    def test_alias_cannot_shadow_engine(self):
+        with pytest.raises(EngineError, match="shadows"):
+            register_alias("bfs", "rlc-index")
+        with pytest.raises(EngineError, match="unknown engine"):
+            register_alias("fresh-alias", "no-such-engine")
+
+    def test_realiasing_same_target_is_idempotent(self):
+        register_alias("rlc", "rlc-index")  # already bound to the same target
+
+    def test_filter_options_follows_inner_chain(self):
+        from repro.engine import filter_engine_options
+
+        offered = {"k": 2, "time_budget": None, "bogus": 1}
+        assert filter_engine_options("rlc", offered) == {"k": 2}
+        assert filter_engine_options("sharded:rlc?parts=2", offered) == {"k": 2}
+        assert filter_engine_options("sharded", offered) == {"k": 2}  # default inner
+        assert filter_engine_options("sharded:bfs", offered) == {}
+        assert filter_engine_options("sharded:sharded:etc", offered) == {"k": 2}
 
 
 class TestEngineLifecycle:

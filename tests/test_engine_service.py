@@ -1,10 +1,10 @@
-"""Tests for the batching/caching :class:`QueryService`."""
+"""Tests for the batching/caching/concurrent :class:`QueryService`."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.engine import QueryService, RlcIndexEngine, create_engine
+from repro.engine import QueryService, RlcIndexEngine, ServiceReport, create_engine
 from repro.errors import EngineError
 from repro.queries import RlcQuery
 from repro.workloads import generate_workload
@@ -130,6 +130,96 @@ class TestCache:
             QueryService(engine, batch_size=0)
         with pytest.raises(EngineError):
             QueryService(engine, cache_size=-1)
+        with pytest.raises(EngineError):
+            QueryService(engine, workers=0)
+
+
+class TestReportEdgeCases:
+    """Degenerate runs must stay well-defined (no ZeroDivisionError)."""
+
+    def _report(self, *, answers, seconds, hits=0, misses=0):
+        return ServiceReport(
+            engine_name="x",
+            answers=answers,
+            seconds=seconds,
+            cache_hits=hits,
+            cache_misses=misses,
+            batches=0,
+        )
+
+    def test_empty_workload_runs_end_to_end(self, engine):
+        report = QueryService(engine).run([])
+        assert report.ok
+        assert report.total == 0
+        assert report.hit_rate == 0.0
+        assert report.queries_per_second == 0.0
+        assert "0 queries" in report.summary()
+
+    def test_zero_elapsed_time_with_queries_is_inf_not_error(self):
+        report = self._report(answers=[True, False], seconds=0.0, misses=2)
+        assert report.queries_per_second == float("inf")
+        report.summary()  # renders without raising
+
+    def test_zero_elapsed_time_with_empty_workload_is_zero(self):
+        report = self._report(answers=[], seconds=0.0)
+        assert report.queries_per_second == 0.0
+        assert report.hit_rate == 0.0
+        report.summary()
+
+    def test_counters_hit_rate_defined_before_any_query(self, engine):
+        assert QueryService(engine).counters()["hit_rate"] == 0.0
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_concurrent_run_matches_serial(self, fig2, workload, workers):
+        serial = QueryService(
+            create_engine("bfs", fig2), batch_size=2, cache_size=0
+        ).run(workload)
+        concurrent = QueryService(
+            create_engine("bfs", fig2), batch_size=2, cache_size=0,
+            workers=workers,
+        ).run(workload)
+        assert concurrent.answers == serial.answers
+        assert concurrent.ok and serial.ok
+        assert concurrent.batches == serial.batches
+
+    def test_concurrent_run_shares_one_engine_and_counts_exactly(self, fig2):
+        engine = create_engine("bfs", fig2)
+        queries = [
+            RlcQuery(source, target, (1, 0))
+            for source in range(fig2.num_vertices)
+            for target in range(fig2.num_vertices)
+        ]
+        report = QueryService(
+            engine, batch_size=4, cache_size=0, workers=4
+        ).run(queries, verify=False)
+        assert report.total == len(queries)
+        # The locked counters lose no updates under the thread pool.
+        stats = engine.stats()
+        assert stats.batched_queries == len(queries)
+        assert stats.batches == report.batches
+
+    def test_concurrent_duplicates_still_collapse(self, engine):
+        query = RlcQuery(2, 5, (1, 0), expected=True)
+        report = QueryService(engine, workers=4).run([query] * 10)
+        assert report.ok and report.answers == [True] * 10
+        assert engine.stats().batched_queries == 1
+
+    def test_concurrent_chunks_sorted_by_constraint(self, fig2):
+        # Queries arrive with interleaved constraints; with workers > 1
+        # the service reorders pending groups so each chunk covers few
+        # constraint groups.  Answers keep workload order regardless.
+        engine = create_engine("bfs", fig2)
+        interleaved = []
+        for source in range(4):
+            interleaved.append(RlcQuery(source, 5, (1, 0)))
+            interleaved.append(RlcQuery(source, 5, (0,)))
+        serial = [create_engine("bfs", fig2).query(q) for q in interleaved]
+        report = QueryService(engine, batch_size=4, workers=2).run(
+            interleaved, verify=False
+        )
+        assert report.answers == serial
 
 
 class TestAcrossEngines:

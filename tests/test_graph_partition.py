@@ -1,0 +1,170 @@
+"""Tests for graph sharding (:mod:`repro.graph.partition`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import EdgeLabeledDigraph
+from repro.graph.partition import (
+    disjoint_union,
+    partition_graph,
+    weakly_connected_components,
+)
+
+from tests.helpers import random_graph
+
+
+def _three_components():
+    """Components {0,1,2} (sizes differ), {3,4}, {5} (isolated)."""
+    return EdgeLabeledDigraph(
+        6,
+        [(0, 0, 1), (1, 1, 2), (3, 0, 4)],
+        num_labels=2,
+    )
+
+
+class TestWeaklyConnectedComponents:
+    def test_components_found_and_sorted(self):
+        assert weakly_connected_components(_three_components()) == [
+            [0, 1, 2],
+            [3, 4],
+            [5],
+        ]
+
+    def test_direction_is_ignored(self):
+        graph = EdgeLabeledDigraph(3, [(2, 0, 0), (1, 0, 2)], num_labels=1)
+        assert weakly_connected_components(graph) == [[0, 1, 2]]
+
+    def test_empty_graph(self):
+        assert weakly_connected_components(EdgeLabeledDigraph(0, [])) == []
+
+    def test_self_loop_is_a_singleton_component(self):
+        graph = EdgeLabeledDigraph(2, [(0, 0, 0)], num_labels=1)
+        assert weakly_connected_components(graph) == [[0], [1]]
+
+
+class TestWccPartition:
+    def test_default_is_one_shard_per_component(self):
+        partition = partition_graph(_three_components())
+        assert partition.num_shards == 3
+        assert partition.lossless
+        assert partition.shard_sizes() == (3, 2, 1)
+        assert partition.method == "wcc"
+
+    def test_balanced_merge_into_fewer_shards(self):
+        partition = partition_graph(_three_components(), 2)
+        assert partition.num_shards == 2
+        assert partition.lossless
+        # LPT packing: the 3-vertex component alone, {3,4} + {5} merged.
+        assert sorted(partition.shard_sizes()) == [3, 3]
+
+    def test_more_parts_than_components_clamps(self):
+        partition = partition_graph(_three_components(), 10)
+        assert partition.num_shards == 3  # cannot split a component
+
+    def test_vertex_to_shard_map_consistent_with_shards(self):
+        partition = partition_graph(_three_components(), 2)
+        for shard in partition.shards:
+            for vertex in shard.vertices:
+                assert partition.shard_id(vertex) == shard.index
+                assert vertex in shard
+
+    def test_relabeling_roundtrip_and_induced_edges(self):
+        graph = _three_components()
+        partition = partition_graph(graph)
+        seen_edges = 0
+        for shard in partition.shards:
+            for local_u, label, local_v in shard.subgraph.edges():
+                u, v = shard.to_global(local_u), shard.to_global(local_v)
+                assert graph.has_edge(u, label, v)
+                assert shard.to_local(u) == local_u
+                seen_edges += 1
+            assert shard.subgraph.num_labels == graph.num_labels
+        assert seen_edges == graph.num_edges  # nothing cut, nothing duplicated
+
+    def test_shard_translation_errors(self):
+        partition = partition_graph(_three_components())
+        shard = partition.shards[0]
+        with pytest.raises(GraphError, match="not in shard"):
+            shard.to_local(5)
+        with pytest.raises(GraphError, match="out of range"):
+            shard.to_global(99)
+        with pytest.raises(GraphError, match="unknown vertex"):
+            partition.shard_id(-1)
+
+    def test_shards_are_hashable_and_comparable(self):
+        first = partition_graph(_three_components())
+        second = partition_graph(_three_components())
+        assert first.shards[0] == second.shards[0]
+        assert hash(first.shards[0]) == hash(second.shards[0])
+        assert len({*first.shards, *second.shards}) == first.num_shards
+
+    def test_label_dictionary_is_shared(self):
+        from repro.graph.generators import paper_figure2
+
+        graph = paper_figure2()
+        partition = partition_graph(graph)
+        assert all(
+            shard.subgraph.label_dictionary is graph.label_dictionary
+            for shard in partition.shards
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_partition_losslessly(self, seed):
+        graph = random_graph(seed, max_vertices=12)
+        partition = partition_graph(graph, 3)
+        assert partition.lossless
+        assert sum(partition.shard_sizes()) == graph.num_vertices
+        assert sum(s.subgraph.num_edges for s in partition.shards) == graph.num_edges
+
+
+class TestHashPartition:
+    def test_hash_partition_counts_cut_edges(self):
+        graph = EdgeLabeledDigraph(4, [(0, 0, 1), (1, 0, 2), (2, 0, 3)], num_labels=1)
+        partition = partition_graph(graph, 2, method="hash")
+        assert partition.method == "hash"
+        assert partition.num_shards == 2
+        # vertex v -> shard v % 2, so every edge of the path is cut.
+        assert partition.cut_edges == 3
+        assert not partition.lossless
+
+    def test_hash_requires_num_parts(self):
+        with pytest.raises(GraphError, match="requires num_parts"):
+            partition_graph(_three_components(), method="hash")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError, match="num_parts"):
+            partition_graph(_three_components(), 0)
+        with pytest.raises(GraphError, match="must be an integer"):
+            partition_graph(_three_components(), 2.5)
+        with pytest.raises(GraphError, match="must be an integer"):
+            partition_graph(_three_components(), True)
+        with pytest.raises(GraphError, match="unknown partition method"):
+            partition_graph(_three_components(), 2, method="metis")
+
+
+class TestDisjointUnion:
+    def test_blocks_become_components(self):
+        blocks = [random_graph(seed, max_vertices=6) for seed in (1, 2, 3)]
+        union = disjoint_union(blocks)
+        assert union.num_vertices == sum(b.num_vertices for b in blocks)
+        assert union.num_edges == sum(b.num_edges for b in blocks)
+        assert union.num_labels == max(b.num_labels for b in blocks)
+        partition = partition_graph(union, len(blocks))
+        assert partition.lossless
+        assert partition.num_shards == len(blocks)
+
+    def test_union_roundtrips_through_partition(self):
+        blocks = [
+            EdgeLabeledDigraph(2, [(0, 0, 1)], num_labels=1),
+            EdgeLabeledDigraph(3, [(0, 0, 1), (1, 0, 2)], num_labels=1),
+        ]
+        union = disjoint_union(blocks)
+        partition = partition_graph(union)
+        assert [s.subgraph.num_vertices for s in partition.shards] == [2, 3]
+        assert partition.shards[1].subgraph.has_edge(0, 0, 1)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(GraphError, match="at least one graph"):
+            disjoint_union([])
