@@ -5,6 +5,11 @@ Benchmark scales: pytest-benchmark targets use reduced graph scales so
 script directly (``python benchmarks/bench_table4_indexing.py``)
 regenerates the corresponding paper artifact at full stand-in scale
 (see EXPERIMENTS.md for the recorded outputs and the paper comparison).
+
+Engine construction goes through the registry/facade
+(:func:`fresh_engine`, :func:`build_index`, :func:`dataset_session`) so
+the drivers never hand-roll an answerer: what a benchmark times is the
+same code path ``repro.api.Session`` and the CLI serve.
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ from __future__ import annotations
 import argparse
 from functools import lru_cache
 
-from repro.core import build_rlc_index
+from repro.api import Session
+from repro.engine import create_engine, filter_engine_options
 from repro.graph import datasets
 from repro.workloads import generate_workload
 
@@ -30,9 +36,39 @@ def dataset(name: str, scale: float = 1.0):
 
 
 @lru_cache(maxsize=None)
+def dataset_session(name: str, scale: float = 1.0) -> Session:
+    """Cached :class:`repro.api.Session` over a dataset stand-in.
+
+    One session per (name, scale): engines asked for by spec are shared
+    across benchmark targets exactly like ``dataset_index`` used to
+    share its index.
+    """
+    return Session(dataset(name, scale), graph_name=name)
+
+
+def fresh_engine(spec: str, graph, **options):
+    """Registry-built, freshly-prepared engine (for timed builds).
+
+    ``options`` are offered generically and filtered against the spec's
+    constructor chain, so one call site serves every engine family.
+    """
+    return create_engine(spec, graph, **filter_engine_options(spec, options))
+
+
+def build_index(graph, k: int = 2, **options):
+    """Facade-routed RLC index build (what the drivers time).
+
+    Goes through the ``rlc-index`` registry adapter — the identical
+    construction path of ``Session.engine("rlc-index?...")`` — and
+    returns the built :class:`~repro.core.index.RlcIndex` backend.
+    """
+    return fresh_engine("rlc-index", graph, k=k, **options).backend
+
+
+@lru_cache(maxsize=None)
 def dataset_index(name: str, scale: float = 1.0, k: int = 2):
-    """Cached RLC index for a dataset stand-in."""
-    return build_rlc_index(dataset(name, scale), k)
+    """Cached RLC index for a dataset stand-in (via the session facade)."""
+    return dataset_session(name, scale).engine(f"rlc-index?k={k}").backend
 
 
 @lru_cache(maxsize=None)

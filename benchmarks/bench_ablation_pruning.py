@@ -19,7 +19,6 @@ from repro.bench.experiments import (
     experiment_ablation_pruning,
     experiment_ablation_strategies,
 )
-from repro.core import build_rlc_index
 
 if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
     import pathlib
@@ -27,7 +26,7 @@ if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import dataset, standard_parser
+from benchmarks._common import build_index, dataset, standard_parser
 
 
 @pytest.mark.parametrize(
@@ -43,7 +42,7 @@ from benchmarks._common import dataset, standard_parser
 def test_pruning_variant_build(benchmark, label, kwargs):
     graph = dataset("AD", 0.5)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2, **kwargs), rounds=1, iterations=1
+        lambda: build_index(graph, 2, **kwargs), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 
@@ -51,7 +50,7 @@ def test_pruning_variant_build(benchmark, label, kwargs):
 def test_lazy_strategy_build(benchmark):
     graph = dataset("AD", 0.5)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2, strategy="lazy"), rounds=1, iterations=1
+        lambda: build_index(graph, 2, strategy="lazy"), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 
@@ -59,7 +58,7 @@ def test_lazy_strategy_build(benchmark):
 def test_random_ordering_build(benchmark):
     graph = dataset("AD", 0.5)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2, ordering="random", seed=7),
+        lambda: build_index(graph, 2, ordering="random", seed=7),
         rounds=1,
         iterations=1,
     )
@@ -71,10 +70,10 @@ def test_no_rules_is_slower_and_bigger():
 
     graph = dataset("AD", 0.5)
     started = time.perf_counter()
-    pruned = build_rlc_index(graph, 2)
+    pruned = build_index(graph, 2)
     pruned_seconds = time.perf_counter() - started
     started = time.perf_counter()
-    unpruned = build_rlc_index(graph, 2, use_pr1=False, use_pr2=False, use_pr3=False)
+    unpruned = build_index(graph, 2, use_pr1=False, use_pr2=False, use_pr3=False)
     unpruned_seconds = time.perf_counter() - started
     assert unpruned.num_entries > pruned.num_entries
     assert unpruned_seconds > pruned_seconds

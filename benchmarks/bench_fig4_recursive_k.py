@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import experiment_fig4
-from repro.core import build_rlc_index
 
 if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
     import pathlib
@@ -23,21 +22,21 @@ if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import dataset, standard_parser
+from benchmarks._common import build_index, dataset, standard_parser
 
 
 @pytest.mark.parametrize("k", [2, 3, 4])
 def test_tw_build_vs_k(benchmark, k):
     graph = dataset("TW")
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, k), rounds=1, iterations=1
+        lambda: build_index(graph, k), rounds=1, iterations=1
     )
     assert index.k == k
 
 
 def test_size_grows_with_k():
     graph = dataset("TW", 0.5)
-    sizes = [build_rlc_index(graph, k).estimated_size_bytes() for k in (2, 3, 4)]
+    sizes = [build_index(graph, k).estimated_size_bytes() for k in (2, 3, 4)]
     assert sizes[0] <= sizes[1] <= sizes[2]
 
 

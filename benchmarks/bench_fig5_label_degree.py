@@ -17,7 +17,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import experiment_fig5
-from repro.core import build_rlc_index
 from repro.graph import generators
 
 if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
@@ -26,14 +25,14 @@ if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import standard_parser
+from benchmarks._common import build_index, standard_parser
 
 
 @pytest.mark.parametrize("degree,labels", [(2, 8), (2, 36), (5, 8), (5, 36)])
 def test_er_build_sweep_corner(benchmark, degree, labels):
     graph = generators.labeled_erdos_renyi(1000, degree, labels, seed=7)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+        lambda: build_index(graph, 2), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 
@@ -41,7 +40,7 @@ def test_er_build_sweep_corner(benchmark, degree, labels):
 def test_ba_build_degree5(benchmark):
     graph = generators.labeled_barabasi_albert(1000, 5, 16, seed=7)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+        lambda: build_index(graph, 2), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 

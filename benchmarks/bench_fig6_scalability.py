@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import experiment_fig6
-from repro.core import build_rlc_index
 from repro.graph import generators
 
 if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
@@ -24,14 +23,14 @@ if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import standard_parser
+from benchmarks._common import build_index, standard_parser
 
 
 @pytest.mark.parametrize("num_vertices", [500, 1000, 2000])
 def test_er_build_scaling(benchmark, num_vertices):
     graph = generators.labeled_erdos_renyi(num_vertices, 5, 16, seed=7)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+        lambda: build_index(graph, 2), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 
@@ -40,7 +39,7 @@ def test_er_build_scaling(benchmark, num_vertices):
 def test_ba_build_scaling(benchmark, num_vertices):
     graph = generators.labeled_barabasi_albert(num_vertices, 5, 16, seed=7)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, 2), rounds=1, iterations=1
+        lambda: build_index(graph, 2), rounds=1, iterations=1
     )
     assert index.num_entries > 0
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import experiment_fig7
-from repro.core import build_rlc_index
 from repro.graph import generators
 
 if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
@@ -21,14 +20,14 @@ if __package__ in (None, ""):  # direct execution: make `benchmarks` importable
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import standard_parser
+from benchmarks._common import build_index, standard_parser
 
 
 @pytest.mark.parametrize("k", [2, 3])
 def test_er_build_vs_k(benchmark, k):
     graph = generators.labeled_erdos_renyi(800, 5, 16, seed=7)
     index = benchmark.pedantic(
-        lambda: build_rlc_index(graph, k), rounds=1, iterations=1
+        lambda: build_index(graph, k), rounds=1, iterations=1
     )
     assert index.k == k
 
@@ -40,7 +39,7 @@ def test_exponential_k_growth_shape():
     times = []
     for k in (2, 3):
         started = time.perf_counter()
-        build_rlc_index(graph, k)
+        build_index(graph, k)
         times.append(time.perf_counter() - started)
     assert times[1] > times[0]
 

@@ -6,9 +6,10 @@ whether a path from ``s`` to ``t`` carries a label sequence that is a
 power of the primitive sequence ``L`` (``|L| <= k``), and the RLC index
 answers them with a 2-hop-style labeling built by kernel-based search.
 
-Quickstart::
+The front door is the :mod:`repro.api` session facade — one object
+owning a graph, its prepared engines, and its caches::
 
-    from repro import GraphBuilder, build_rlc_index
+    from repro import GraphBuilder, Session
 
     b = GraphBuilder()
     b.add_edge("a14", "debits", "e15")
@@ -17,13 +18,22 @@ Quickstart::
     b.add_edge("e18", "credits", "a19")
     graph = b.build()
 
-    index = build_rlc_index(graph, k=2)
-    constraint = graph.encode_sequence(("debits", "credits"))
-    assert index.query(b.vertex_id("a14"), b.vertex_id("a19"), constraint)
+    with Session(graph) as session:
+        constraint = graph.encode_sequence(("debits", "credits"))
+        assert session.query(b.vertex_id("a14"), b.vertex_id("a19"), constraint)
+
+Lower layers remain importable from their homes — ``repro.core`` for
+the index algorithms, ``repro.engine`` for the registry and service,
+``repro.graph`` for graphs and partitioning.  The engine-layer names
+that used to be re-exported here (``QueryService``, ``create_engine``,
+...) still resolve, with a :class:`DeprecationWarning` pointing at
+their canonical imports.
 
 See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
+
+import warnings
 
 from repro.errors import (
     BudgetExceededError,
@@ -62,20 +72,54 @@ from repro.core import (
     build_rlc_index,
     find_witness_path,
 )
-from repro.engine import (
-    EngineStats,
-    QueryService,
-    ReachabilityEngine,
-    ServiceReport,
-    ShardedEngine,
-    available_engines,
-    create_engine,
-    engine_names,
+from repro.api import (
+    AsyncQueryService,
+    PersistentResultCache,
+    ReplayServer,
+    Session,
+    open_session,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+# Engine-layer entry points that predate the repro.api facade.  They
+# used to be eagerly re-exported here; the facade supersedes them as
+# the *top-level* spelling, so they now resolve lazily with a
+# DeprecationWarning.  The canonical imports (repro.engine.*) are
+# untouched and warning-free.
+_DEPRECATED_ENGINE_EXPORTS = (
+    "EngineStats",
+    "QueryService",
+    "ReachabilityEngine",
+    "ServiceReport",
+    "ShardedEngine",
+    "available_engines",
+    "create_engine",
+    "engine_names",
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ENGINE_EXPORTS:
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use repro.engine.{name} directly, or drive "
+            "queries through repro.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED_ENGINE_EXPORTS))
+
 
 __all__ = [
+    "AsyncQueryService",
     "BudgetExceededError",
     "BuildStats",
     "CapabilityError",
@@ -91,9 +135,12 @@ __all__ = [
     "GraphPartition",
     "LabelDictionary",
     "Nfa",
+    "PersistentResultCache",
     "QueryService",
     "ReachabilityEngine",
+    "ReplayServer",
     "ServiceReport",
+    "Session",
     "NfaBfs",
     "NfaBiBfs",
     "NfaDfs",
@@ -116,6 +163,7 @@ __all__ = [
     "is_primitive",
     "kernel_decomposition",
     "minimum_repeat",
+    "open_session",
     "parse_regex",
     "partition_graph",
     "validate_rlc_query",

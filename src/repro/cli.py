@@ -14,10 +14,14 @@ Commands:
 - ``bench GRAPH WORKLOAD --engine SPEC`` — run a workload through any
   registered engine spec built over a graph file (bare names like
   ``bibfs`` or parameterized specs like ``sharded:rlc?parts=4``);
+- ``serve GRAPH --engine SPEC`` — start the JSON replay server
+  (``/query``, ``/batch``, ``/stats``, ``/healthz``) over a graph file
+  or dataset name, optionally with a persistent result cache;
 - ``dataset NAME -o GRAPH`` — materialize a Table III stand-in.
 
-All query execution goes through :mod:`repro.engine`: engines are
-constructed by registry name/spec, never via per-engine branching here.
+All query execution goes through the :mod:`repro.api` session facade
+(which itself drives :mod:`repro.engine` by registry name/spec) — the
+commands here are thin argument parsers, never per-engine branching.
 Graph files may be text edge lists (``source label target`` per line)
 or ``.npz`` archives written by this tool.
 """
@@ -29,13 +33,12 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.api import ReplayServer, Session
 from repro.core import build_rlc_index
 from repro.core.index import RlcIndex
 from repro.engine import (
-    QueryService,
     RlcIndexEngine,
     available_engines,
-    create_engine,
     filter_engine_options,
 )
 from repro.errors import ReproError
@@ -130,15 +133,15 @@ def _cmd_workload(args) -> int:
 
 def _cmd_run(args) -> int:
     index = RlcIndex.load(args.index)
-    workload = load_workload(args.workload)
-    engine = RlcIndexEngine.from_index(index)
-    service = QueryService(
-        engine,
+    session = Session.from_prepared(
+        RlcIndexEngine.from_index(index),
+        spec=f"rlc-index?k={index.k}",
+        graph_name=str(args.index),
         batch_size=args.batch_size,
         cache_size=args.cache_size,
         workers=args.workers,
     )
-    report = service.run(workload)
+    report = session.run(args.workload)
     wrong = len(report.mismatches)
     print(
         f"{report.total} queries in {report.seconds * 1e3:.2f} ms "
@@ -164,8 +167,20 @@ def _cmd_engines(args) -> int:
     return 0
 
 
+def _open_session(args) -> Session:
+    """Session over the command's graph argument (path or dataset name)."""
+    return Session(
+        args.graph,
+        engine=args.engine,
+        cache_dir=getattr(args, "cache_dir", None),
+        cache_size=args.cache_size,
+        batch_size=args.batch_size,
+        workers=args.workers,
+    )
+
+
 def _cmd_bench(args) -> int:
-    graph = load_graph(args.graph)
+    session = _open_session(args)
     workload = load_workload(args.workload)
     # -k defaults to the workload's recorded bound so a k=3 workload
     # benches against a k=3 index without re-specifying it.  Flags are
@@ -175,17 +190,12 @@ def _cmd_bench(args) -> int:
     options = filter_engine_options(
         args.engine, {"k": k, "time_budget": args.time_budget}
     )
-    engine = create_engine(args.engine, graph, **options)
-    service = QueryService(
-        engine,
-        batch_size=args.batch_size,
-        cache_size=args.cache_size,
-        workers=args.workers,
-    )
-    report = service.run(workload)
+    engine = session.engine(args.engine, **options)
+    report = session.run(workload, engine=args.engine, **options)
     stats = engine.stats()
     print(
-        f"prepared {args.engine} over {graph!r} in {stats.prepare_seconds:.2f}s"
+        f"prepared {args.engine} over {session.graph!r} "
+        f"in {stats.prepare_seconds:.2f}s"
     )
     shards = stats.extra.get("shards")
     if shards:
@@ -196,6 +206,24 @@ def _cmd_bench(args) -> int:
         )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    session = _open_session(args)
+    server = ReplayServer(
+        session, host=args.host, port=args.port, quiet=args.quiet
+    )
+    cache = session.cache_dir or "off"
+    print(
+        f"serving {session.name!r} with engine {args.engine!r} "
+        f"on {server.url} (persistent cache: {cache})"
+    )
+    print("endpoints: GET /healthz /stats, POST /query /batch; Ctrl-C stops")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
 
 
 def _cmd_dataset(args) -> int:
@@ -276,10 +304,43 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch-size", type=int, default=256)
     bench.add_argument("--cache-size", type=int, default=4096)
     bench.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent result cache (warm across runs)",
+    )
+    bench.add_argument(
         "--workers", type=int, default=1,
         help="thread-pool width for batch execution (default 1 = serial)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="start the JSON replay server over a graph"
+    )
+    serve.add_argument("graph", help="graph file or dataset name")
+    serve.add_argument(
+        "--engine", default="rlc-index",
+        help="default engine spec; requests may override per call",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listening port (0 binds an ephemeral one)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent result cache (warm across runs)",
+    )
+    serve.add_argument("--batch-size", type=int, default=256)
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for batch execution (default 1 = serial)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     dataset = commands.add_parser("dataset", help="materialize a stand-in dataset")
     dataset.add_argument("name", choices=datasets.dataset_names())

@@ -73,12 +73,20 @@ class RlcIndexEngine(EngineBase):
         k: int = 2,
         strategy: str = "eager",
         ordering: str = "in-out",
+        use_pr1: bool = True,
+        use_pr2: bool = True,
+        use_pr3: bool = True,
+        seed: Optional[int] = None,
         time_budget: Optional[float] = None,
     ) -> None:
         super().__init__()
         self._k = k
         self._strategy = strategy
         self._ordering = ordering
+        self._use_pr1 = use_pr1
+        self._use_pr2 = use_pr2
+        self._use_pr3 = use_pr3
+        self._seed = seed
         self._time_budget = time_budget
 
     @classmethod
@@ -98,6 +106,10 @@ class RlcIndexEngine(EngineBase):
             self._k,
             strategy=self._strategy,
             ordering=self._ordering,
+            use_pr1=self._use_pr1,
+            use_pr2=self._use_pr2,
+            use_pr3=self._use_pr3,
+            seed=self._seed,
             time_budget=self._time_budget,
         )
 

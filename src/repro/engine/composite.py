@@ -30,6 +30,7 @@ out across shards.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Tuple
 
 from repro.engine.base import EngineBase, EngineStats
@@ -78,6 +79,11 @@ class ShardedEngine(EngineBase):
     - ``method`` — partition method (see :func:`partition_graph`); only
       lossless partitions are served, so ``"wcc"`` is the method that
       works on every graph;
+    - ``build_workers`` — thread-pool width for *preparing* the inner
+      engines; shards are independent graphs, so their builds fan out
+      (``sharded:rlc?parts=4&build_workers=4``).  Answers are identical
+      to a serial build — engines land in shard order whatever order
+      they finish in;
     - remaining keyword options are forwarded to the inner engine
       **verbatim**: an option the inner engine does not accept raises
       ``TypeError``, exactly as it would on the flat engine, so a
@@ -99,12 +105,18 @@ class ShardedEngine(EngineBase):
         inner: str = "rlc-index",
         parts=None,
         method: str = "wcc",
+        build_workers: int = 1,
         **inner_options,
     ) -> None:
         super().__init__()
+        if build_workers < 1:
+            raise EngineError(
+                f"build_workers must be >= 1, got {build_workers}"
+            )
         self._inner_spec = str(inner)
         self._parts = parts
         self._method = method
+        self._build_workers = build_workers
         self._inner_options = inner_options
 
     @property
@@ -152,10 +164,18 @@ class ShardedEngine(EngineBase):
                 "nested sharded engine needs an explicit inner spec, "
                 "e.g. 'sharded:sharded:bfs'"
             )
-        engines = tuple(
-            inner_cls(**inner_options).prepare(shard.subgraph)
-            for shard in partition.shards
-        )
+        def build(shard) -> EngineBase:
+            return inner_cls(**inner_options).prepare(shard.subgraph)
+
+        workers = min(self._build_workers, len(partition.shards))
+        if workers > 1:
+            # Shards are disjoint induced subgraphs, so their builds
+            # share nothing mutable; executor.map preserves shard order,
+            # so routing tables are identical to a serial build.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                engines = tuple(pool.map(build, partition.shards))
+        else:
+            engines = tuple(build(shard) for shard in partition.shards)
         return _ShardedBackend(partition, engines)
 
     # ------------------------------------------------------------------

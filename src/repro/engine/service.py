@@ -105,6 +105,15 @@ class QueryService:
     batches concurrently on a thread pool (engines are read-only after
     ``prepare``, so the only shared mutable state is their locked
     counters — see the module docstring).
+
+    ``store``, when given, is a second cache layer **under** the LRU —
+    anything with ``get(key) -> Optional[bool]`` / ``put(key, answer)``
+    (``flush()`` stays the owner's concern).  Lookups fall through to it
+    on LRU miss (a store hit counts as a cache hit and is promoted into
+    the LRU); every computed answer is written through.  The shipped
+    implementation is the on-disk
+    :class:`repro.api.PersistentResultCache`, which is how a
+    :class:`~repro.api.Session` keeps answers warm across processes.
     """
 
     def __init__(
@@ -114,6 +123,7 @@ class QueryService:
         cache_size: int = 4096,
         batch_size: int = 256,
         workers: int = 1,
+        store=None,
     ) -> None:
         if batch_size < 1:
             raise EngineError(f"batch_size must be >= 1, got {batch_size}")
@@ -125,6 +135,7 @@ class QueryService:
         self._cache_size = cache_size
         self._batch_size = batch_size
         self._workers = workers
+        self._store = store
         self._cache: "OrderedDict[CacheKey, bool]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -136,6 +147,21 @@ class QueryService:
     @property
     def engine(self) -> EngineBase:
         return self._engine
+
+    @property
+    def store(self):
+        """The persistent backing store, or None."""
+        return self._store
+
+    def peek(self, source: int, target: int, labels) -> Optional[bool]:
+        """The cached answer for a query, or None — never runs the engine.
+
+        Consults the LRU and the backing store (promoting a store hit
+        into the LRU) without counting a hit or a miss; used by
+        ``Session.explain`` to report whether an answer was cached.
+        """
+        query = RlcQuery(source, target, tuple(labels))
+        return self._cache_get((query.source, query.target, query.labels))
 
     def query(self, source: int, target: int, labels) -> bool:
         """Answer one query through the cache."""
@@ -253,9 +279,19 @@ class QueryService:
         answer = self._cache.get(key)
         if answer is not None:
             self._cache.move_to_end(key)
-        return answer
+            return answer
+        if self._store is not None:
+            answer = self._store.get(key)
+            if answer is not None:
+                # Promote into the LRU so hot persistent entries stop
+                # paying the store lookup.
+                self._cache_put(key, answer)
+                return answer
+        return None
 
     def _cache_put(self, key: CacheKey, answer: bool) -> None:
+        if self._store is not None:
+            self._store.put(key, answer)
         if self._cache_size == 0:
             return
         self._cache[key] = answer
@@ -282,6 +318,8 @@ class QueryService:
             "hit_rate": self._hits / served if served else 0.0,
             "cache_len": len(self._cache),
         }
+        if self._store is not None:
+            values["store_len"] = len(self._store)
         for name, value in stats.as_dict().items():
             values[f"engine_{name}"] = value
         return values

@@ -336,6 +336,27 @@ class EdgeLabeledDigraph:
             encoded.append(atom)
         return tuple(encoded)
 
+    def content_digest(self) -> str:
+        """Hex SHA-256 over the canonical graph content.
+
+        Unlike :meth:`__hash__` (process-local, salted for ``str``-free
+        content here but kept an ``int``), the digest is stable across
+        processes and Python versions, so it can key *persistent*
+        artifacts: the on-disk result cache of :mod:`repro.api` names
+        cache files by it, and a changed graph can never be served
+        answers computed for another one.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"v{self._num_vertices} l{self._num_labels} e{self.num_edges}".encode()
+        )
+        hasher.update(self._sources.tobytes())
+        hasher.update(self._labels.tobytes())
+        hasher.update(self._targets.tobytes())
+        return hasher.hexdigest()
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EdgeLabeledDigraph):
             return NotImplemented

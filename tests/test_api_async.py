@@ -1,0 +1,145 @@
+"""Tests for :class:`repro.api.AsyncQueryService`."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import AsyncQueryService, Session
+from repro.engine import QueryService, create_engine
+from repro.graph import generators
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.labeled_erdos_renyi(100, 3, 4, seed=17)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return generate_workload(
+        graph, 2, num_true=20, num_false=20, seed=23, graph_name="er"
+    )
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestParityWithSyncService:
+    """Acceptance: awaited answers are byte-identical to the sync path."""
+
+    def test_query_matches_sync(self, graph, workload):
+        sync = QueryService(create_engine("rlc-index", graph, k=2))
+        expected = [
+            sync.query(q.source, q.target, q.labels) for q in workload
+        ]
+
+        async def drive():
+            async with AsyncQueryService(
+                QueryService(create_engine("rlc-index", graph, k=2))
+            ) as service:
+                return [
+                    await service.query(q.source, q.target, q.labels)
+                    for q in workload
+                ]
+
+        assert run(drive()) == expected
+
+    def test_run_returns_the_sync_report(self, graph, workload):
+        sync_report = QueryService(create_engine("rlc-index", graph, k=2)).run(
+            workload
+        )
+
+        async def drive():
+            async with AsyncQueryService(
+                QueryService(create_engine("rlc-index", graph, k=2))
+            ) as service:
+                return await service.run(workload)
+
+        report = run(drive())
+        assert report.answers == sync_report.answers
+        assert report.ok and sync_report.ok
+        assert report.total == sync_report.total
+
+    def test_query_many_preserves_order(self, graph, workload):
+        triples = [(q.source, q.target, q.labels) for q in workload]
+        sync = QueryService(create_engine("rlc-index", graph, k=2))
+        expected = [sync.query(*triple) for triple in triples]
+
+        async def drive():
+            async with AsyncQueryService(
+                QueryService(create_engine("rlc-index", graph, k=2))
+            ) as service:
+                return await service.query_many(triples)
+
+        assert run(drive()) == expected
+
+    def test_concurrent_coroutines_share_the_cache(self, graph):
+        async def drive():
+            async with AsyncQueryService(
+                QueryService(create_engine("bfs", graph))
+            ) as service:
+                await asyncio.gather(
+                    *(service.query(0, 1, (0,)) for _ in range(8))
+                )
+                return service.service.counters()
+
+        counters = run(drive())
+        assert counters["cache_misses"] == 1
+        assert counters["cache_hits"] == 7
+
+
+class TestSessionIntegration:
+    def test_session_memoizes_async_service(self, graph):
+        session = Session(graph)
+        assert session.async_service("bfs") is session.async_service("bfs")
+        assert session.async_service("bfs").service is session.service("bfs")
+
+    def test_closing_the_session_closes_async_services(self, graph):
+        session = Session(graph)
+        wrapper = session.async_service("bfs")
+        session.close()
+
+        async def drive():
+            await wrapper.query(0, 1, (0,))
+
+        with pytest.raises(RuntimeError, match="closed"):
+            run(drive())
+
+
+class TestLifecycle:
+    def test_closed_service_refuses_queries(self, graph):
+        service = AsyncQueryService(QueryService(create_engine("bfs", graph)))
+        service.close()
+
+        async def drive():
+            await service.query(0, 1, (0,))
+
+        with pytest.raises(RuntimeError, match="closed"):
+            run(drive())
+
+    def test_close_is_idempotent(self, graph):
+        service = AsyncQueryService(QueryService(create_engine("bfs", graph)))
+        service.close()
+        service.close()
+
+    def test_aclose(self, graph):
+        service = AsyncQueryService(QueryService(create_engine("bfs", graph)))
+        run(service.aclose())
+        assert "closed" in repr(service)
+
+    def test_shared_executor_is_not_shut_down(self, graph):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            service = AsyncQueryService(
+                QueryService(create_engine("bfs", graph)), executor=pool
+            )
+            service.close()
+            assert pool.submit(lambda: 1).result() == 1
+        finally:
+            pool.shutdown()

@@ -1,0 +1,193 @@
+"""Tests for the persistent on-disk result cache (:mod:`repro.api.cache`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import PersistentResultCache, Session, cache_file_name
+from repro.graph import generators
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.labeled_erdos_renyi(100, 3, 4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return generate_workload(
+        graph, 2, num_true=20, num_false=20, seed=9, graph_name="er"
+    )
+
+
+class TestRoundTrip:
+    def test_second_session_is_fully_warm(self, tmp_path, graph, workload):
+        """Acceptance: a warm persistent cache reports hit_rate == 1.0."""
+        with Session(graph, cache_dir=tmp_path) as first:
+            cold = first.run(workload)
+        assert cold.hit_rate == 0.0 and cold.ok
+
+        with Session(graph, cache_dir=tmp_path) as second:
+            warm = second.run(workload)
+        assert warm.hit_rate == 1.0
+        assert warm.answers == cold.answers
+
+    def test_cache_file_exists_and_round_trips_values(self, tmp_path, graph):
+        with Session(graph, cache_dir=tmp_path) as session:
+            answer = session.query(0, 1, (0,))
+        files = os.listdir(tmp_path)
+        assert len(files) == 1
+        store = PersistentResultCache(
+            tmp_path / files[0],
+            graph_digest=graph.content_digest(),
+            engine_spec="rlc-index",
+        )
+        assert store.get((0, 1, (0,))) == answer
+
+    def test_point_queries_warm_after_flush(self, tmp_path, graph):
+        first = Session(graph, cache_dir=tmp_path)
+        first.query(0, 1, (0,))
+        first.close()
+
+        second = Session(graph, cache_dir=tmp_path)
+        second.query(0, 1, (0,))
+        assert second.stats()["rlc-index"]["cache_hits"] == 1
+
+
+class TestInvalidation:
+    def test_different_graph_digest_loads_empty(self, tmp_path, graph):
+        path = tmp_path / "cache.json"
+        store = PersistentResultCache(
+            path, graph_digest="digest-a", engine_spec="rlc-index"
+        )
+        store.put((0, 1, (0,)), True)
+        store.flush()
+
+        stale = PersistentResultCache(
+            path, graph_digest="digest-b", engine_spec="rlc-index"
+        )
+        assert len(stale) == 0
+
+    def test_different_engine_spec_loads_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = PersistentResultCache(
+            path, graph_digest="digest-a", engine_spec="rlc-index?k=2"
+        )
+        store.put((0, 1, (0,)), False)
+        store.flush()
+
+        stale = PersistentResultCache(
+            path, graph_digest="digest-a", engine_spec="rlc-index?k=3"
+        )
+        assert len(stale) == 0
+
+    def test_sessions_with_different_specs_use_different_files(
+        self, tmp_path, graph
+    ):
+        with Session(graph, cache_dir=tmp_path) as session:
+            session.query(0, 1, (0,), engine="rlc-index")
+            session.query(0, 1, (0,), engine="bfs")
+        assert len(os.listdir(tmp_path)) == 2
+
+    def test_changed_graph_never_reuses_answers(self, tmp_path):
+        one = generators.labeled_erdos_renyi(60, 3, 4, seed=1)
+        two = generators.labeled_erdos_renyi(60, 3, 4, seed=2)
+        with Session(one, cache_dir=tmp_path) as session:
+            session.query(0, 1, (0,))
+        with Session(two, cache_dir=tmp_path) as session:
+            session.query(0, 1, (0,))
+            assert session.stats()["rlc-index"]["cache_hits"] == 0
+
+    def test_file_name_is_deterministic_and_spec_sensitive(self):
+        assert cache_file_name("a" * 64, "rlc") == cache_file_name("a" * 64, "rlc")
+        assert cache_file_name("a" * 64, "rlc") != cache_file_name("a" * 64, "bfs")
+        assert cache_file_name("a" * 64, "rlc") != cache_file_name("b" * 64, "rlc")
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all {",
+            '["wrong", "shape"]',
+            '{"format": 99, "entries": {}}',
+            '{"format": 1, "graph_digest": "d", "engine_spec": "s", '
+            '"entries": ["list"]}',
+        ],
+    )
+    def test_defective_file_degrades_to_empty(self, tmp_path, content):
+        path = tmp_path / "cache.json"
+        path.write_text(content)
+        store = PersistentResultCache(
+            path, graph_digest="d", engine_spec="s"
+        )
+        assert len(store) == 0
+
+    def test_session_survives_corrupted_cache_and_rewrites_it(
+        self, tmp_path, graph
+    ):
+        with Session(graph, cache_dir=tmp_path) as session:
+            expected = session.query(0, 1, (0,))
+        (path,) = [tmp_path / name for name in os.listdir(tmp_path)]
+        path.write_text("\x00garbage")
+
+        with Session(graph, cache_dir=tmp_path) as session:
+            assert session.query(0, 1, (0,)) == expected
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1 and payload["entries"]
+
+    def test_bad_entry_keys_and_values_are_skipped(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "graph_digest": "d",
+                    "engine_spec": "s",
+                    "entries": {
+                        "0 1 0": True,
+                        "not a key": True,
+                        "0 1 x,y": False,
+                        "0 1 0,1": "not-a-bool",
+                    },
+                }
+            )
+        )
+        store = PersistentResultCache(path, graph_digest="d", engine_spec="s")
+        assert store.keys() == ((0, 1, (0,)),)
+
+
+class TestFlushSemantics:
+    def test_flush_without_changes_is_a_no_op(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = PersistentResultCache(path, graph_digest="d", engine_spec="s")
+        store.flush()
+        assert not path.exists()
+
+        store.put((0, 1, (0,)), True)
+        store.flush()
+        first_mtime = os.stat(path).st_mtime_ns
+        store.flush()
+        assert os.stat(path).st_mtime_ns == first_mtime
+
+    def test_rewriting_the_same_answer_stays_clean(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = PersistentResultCache(path, graph_digest="d", engine_spec="s")
+        store.put((0, 1, (0,)), True)
+        store.flush()
+        store.put((0, 1, (0,)), True)
+        mtime = os.stat(path).st_mtime_ns
+        store.flush()
+        assert os.stat(path).st_mtime_ns == mtime
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = PersistentResultCache(
+            tmp_path / "cache.json", graph_digest="d", engine_spec="s"
+        )
+        store.put((0, 1, (0,)), True)
+        store.flush()
+        assert os.listdir(tmp_path) == ["cache.json"]

@@ -1,0 +1,86 @@
+"""Deprecation shims for the pre-facade top-level import paths."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.graph.generators import paper_figure2
+from repro.workloads import generate_workload
+
+
+DEPRECATED = (
+    "EngineStats",
+    "QueryService",
+    "ReachabilityEngine",
+    "ServiceReport",
+    "ShardedEngine",
+    "available_engines",
+    "create_engine",
+    "engine_names",
+)
+
+
+class TestShimsWarn:
+    @pytest.mark.parametrize("name", DEPRECATED)
+    def test_access_warns_and_resolves_to_the_engine_layer(self, name):
+        import repro.engine
+
+        with pytest.warns(DeprecationWarning, match=f"importing {name!r}"):
+            shimmed = getattr(repro, name)
+        assert shimmed is getattr(repro.engine, name)
+
+    def test_canonical_engine_imports_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.engine import QueryService, create_engine  # noqa: F401
+
+    def test_facade_imports_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import Session, open_session  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no_such_name"):
+            repro.no_such_name
+
+    def test_dir_lists_deprecated_names(self):
+        listed = dir(repro)
+        for name in DEPRECATED:
+            assert name in listed
+
+    def test_all_names_resolve(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in repro.__all__:
+                assert getattr(repro, name) is not None, name
+
+
+class TestShimsStillAnswer:
+    """The shims are deprecated, not broken: full pipeline still works."""
+
+    def test_shimmed_service_answers_a_workload(self):
+        graph = paper_figure2()
+        workload = generate_workload(
+            graph, 2, num_true=5, num_false=5, seed=7, graph_name="fig2"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = repro.create_engine("rlc-index", graph, k=2)
+            report = repro.QueryService(engine).run(workload)
+        assert report.ok and report.total == 10
+
+    def test_shimmed_sharded_engine_matches_session(self):
+        graph = paper_figure2()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = repro.ShardedEngine(inner="bfs").prepare(graph)
+        with repro.Session(graph) as session:
+            for source in range(3):
+                for target in range(3):
+                    query = repro.RlcQuery(source, target, (1, 0))
+                    assert engine.query(query) == session.query(
+                        source, target, (1, 0), engine="sharded:bfs"
+                    )

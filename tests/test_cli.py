@@ -186,3 +186,100 @@ class TestDataset:
         out = tmp_path / "tw.edges"
         assert main(["dataset", "TW", "--scale", "0.1", "-o", str(out)]) == 0
         assert out.read_text().startswith("#")
+
+
+class TestBenchPersistentCache:
+    def test_second_run_is_fully_warm(self, fig2_file, tmp_path, capsys):
+        workload_path = tmp_path / "w.txt"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "5",
+              "--false-queries", "5", "-o", str(workload_path)])
+        cache_dir = tmp_path / "cache"
+        args = ["bench", str(fig2_file), str(workload_path),
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert "cache hit rate 0%" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache hit rate 100%" in capsys.readouterr().out
+
+    def test_second_process_is_fully_warm(self, fig2_file, tmp_path):
+        """Acceptance: a *separate process* replays entirely from disk."""
+        import os
+        import subprocess
+        import sys
+
+        workload_path = tmp_path / "w.txt"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "5",
+              "--false-queries", "5", "-o", str(workload_path)])
+        cache_dir = tmp_path / "cache"
+        command = [
+            sys.executable, "-m", "repro", "bench",
+            str(fig2_file), str(workload_path), "--cache-dir", str(cache_dir),
+        ]
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        first = subprocess.run(
+            command, capture_output=True, text=True, env=env, timeout=120
+        )
+        assert first.returncode == 0, first.stderr
+        assert "cache hit rate 0%" in first.stdout
+        second = subprocess.run(
+            command, capture_output=True, text=True, env=env, timeout=120
+        )
+        assert second.returncode == 0, second.stderr
+        assert "cache hit rate 100%" in second.stdout
+
+
+class TestServe:
+    def test_serve_starts_and_announces(self, fig2_file, capsys, monkeypatch):
+        from repro.api import ReplayServer
+
+        monkeypatch.setattr(ReplayServer, "serve_forever", lambda self: None)
+        assert main(["serve", str(fig2_file), "--port", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "http://127.0.0.1:" in out
+        assert "/healthz" in out
+
+    def test_serve_answers_over_http(self, fig2_file, capsys, monkeypatch):
+        """End-to-end: the CLI-built server answers a real request."""
+        import json
+        import threading
+        import urllib.request
+
+        from repro.api import ReplayServer
+
+        started = threading.Event()
+        captured = {}
+        real = ReplayServer.serve_forever
+
+        def capture(self):
+            captured["server"] = self
+            started.set()
+            real(self)
+
+        monkeypatch.setattr(ReplayServer, "serve_forever", capture)
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", str(fig2_file), "--port", "0", "--quiet"],),
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(timeout=30)
+        server = captured["server"]
+        try:
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps(
+                    {"source": 2, "target": 5, "labels": [1, 0]}
+                ).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert json.loads(response.read())["answer"] is True
+        finally:
+            server._http.shutdown()
+            thread.join(timeout=10)
+
+    def test_serve_unknown_graph_is_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "missing.txt")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -176,3 +176,52 @@ class TestThroughService:
             engine, workers=workers, batch_size=8, cache_size=0
         ).run(queries, verify=False)
         assert report.answers == expected
+
+
+class TestParallelBuilds:
+    """``build_workers`` fans the per-shard prepares out; answers stay put."""
+
+    def test_parallel_build_matches_serial(self, multi):
+        serial = create_engine("sharded:rlc?parts=3", multi, k=2)
+        parallel = create_engine(
+            "sharded:rlc?parts=3&build_workers=4", multi, k=2
+        )
+        assert len(parallel.shard_engines) == len(serial.shard_engines)
+        queries = []
+        for source in range(multi.num_vertices):
+            for target in range(multi.num_vertices):
+                queries.append(RlcQuery(source, target, (0,)))
+                queries.append(RlcQuery(source, target, (1, 0)))
+        assert parallel.query_batch(queries) == serial.query_batch(queries)
+
+    def test_parallel_build_matches_serial_on_random_graph(self):
+        from repro.graph import generators
+        from repro.graph.partition import disjoint_union as union
+
+        components = [
+            generators.labeled_erdos_renyi(40, 3, 3, seed=seed)
+            for seed in (1, 2, 3, 4)
+        ]
+        graph = union(components)
+        serial = create_engine("sharded:bfs?parts=4", graph)
+        parallel = create_engine("sharded:bfs?parts=4&build_workers=4", graph)
+        import random
+
+        rng = random.Random(13)
+        queries = [
+            RlcQuery(
+                rng.randrange(graph.num_vertices),
+                rng.randrange(graph.num_vertices),
+                (rng.randrange(3),),
+            )
+            for _ in range(300)
+        ]
+        assert parallel.query_batch(queries) == serial.query_batch(queries)
+
+    def test_worker_count_is_capped_by_shards(self, multi):
+        engine = create_engine("sharded:bfs?build_workers=32", multi)
+        assert engine.query(RlcQuery(0, 0, (0, 1))) is True
+
+    def test_invalid_build_workers_rejected(self, multi):
+        with pytest.raises(EngineError, match="build_workers"):
+            create_engine("sharded:bfs?build_workers=0", multi)

@@ -1,0 +1,160 @@
+"""CI smoke test for ``repro serve``.
+
+Starts the replay server as a real subprocess (``python -m repro serve``)
+over a generated graph, waits for ``/healthz``, replays a verified
+workload through ``/query`` and ``/batch``, and asserts every HTTP
+answer matches the ``rlc-index`` engine queried directly in this
+process.  Run from the repository root::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+Exits non-zero (with the server's stderr echoed) on any disagreement,
+so a CI job wired to this script fails fast when the serving stack and
+the engine layer drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine import create_engine  # noqa: E402
+from repro.graph import generators  # noqa: E402
+from repro.graph.io import write_edge_list  # noqa: E402
+from repro.workloads import generate_workload  # noqa: E402
+
+STARTUP_TIMEOUT = 60.0
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def wait_for_health(url: str, process: subprocess.Popen) -> dict:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError("server exited before becoming healthy")
+        try:
+            return get(url + "/healthz")
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.2)
+    raise RuntimeError(f"server not healthy within {STARTUP_TIMEOUT}s")
+
+
+def main() -> int:
+    graph = generators.labeled_erdos_renyi(300, 3, 6, seed=7)
+    workload = generate_workload(
+        graph, 2, num_true=40, num_false=40, seed=11, graph_name="smoke"
+    )
+    engine = create_engine("rlc-index", graph, k=2)
+
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_path = os.path.join(tmp, "smoke.txt")
+        write_edge_list(graph, graph_path)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", graph_path,
+                "--engine", "rlc-index", "--port", str(port), "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        url = f"http://127.0.0.1:{port}"
+        try:
+            health = wait_for_health(url, process)
+            assert health["ok"] is True, health
+            assert health["vertices"] == graph.num_vertices, health
+            assert health["engine"] == "rlc-index", health
+            print(f"healthz ok: {health['vertices']} vertices on {url}")
+
+            mismatches = 0
+            for query in workload:
+                body = post(
+                    url + "/query",
+                    {
+                        "source": query.source,
+                        "target": query.target,
+                        "labels": list(query.labels),
+                    },
+                )
+                direct = engine.query(query)
+                if body["answer"] != direct:
+                    mismatches += 1
+                    print(
+                        f"MISMATCH {query}: served {body['answer']}, "
+                        f"engine {direct}",
+                        file=sys.stderr,
+                    )
+            assert mismatches == 0, f"{mismatches} /query answers disagreed"
+            print(f"/query ok: {len(list(workload))} answers match rlc-index")
+
+            batch = post(
+                url + "/batch",
+                {
+                    "queries": [
+                        {
+                            "source": q.source,
+                            "target": q.target,
+                            "labels": list(q.labels),
+                            "expected": expected,
+                        }
+                        for q, expected in workload.labeled_queries()
+                    ]
+                },
+            )
+            assert batch["ok"] is True, batch
+            assert batch["answers"] == [engine.query(q) for q in workload]
+            print(
+                f"/batch ok: {batch['total']} queries, "
+                f"{batch['mismatches']} mismatches"
+            )
+        except Exception:
+            process.terminate()
+            _, stderr = process.communicate(timeout=15)
+            print("--- server stderr ---", file=sys.stderr)
+            print(stderr, file=sys.stderr)
+            raise
+        else:
+            process.terminate()
+            process.communicate(timeout=15)
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
