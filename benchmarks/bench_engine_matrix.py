@@ -9,6 +9,13 @@ flat/sharded pair is asserted, not just printed, so the matrix doubles
 as a regression gate for the registry spec grammar and the composite
 engine's routing.
 
+A second, **single-WCC** matrix covers the regime WCC sharding cannot
+touch: one connected graph where ``method="wcc"`` yields a single
+shard, while ``sharded:<engine>?method=edge-cut&parts=4`` genuinely
+splits it and serves cross-shard queries through boundary-hub routing.
+Parity against the flat engines is asserted here too, so the matrix
+gates the routing subsystem's soundness on every run.
+
 The ``--quick`` mode additionally smoke-runs **every** registry spec
 (the three simulated Table V systems included) on a tiny graph — the
 CI engine-matrix job runs exactly that.
@@ -21,6 +28,7 @@ Full run: ``python benchmarks/bench_engine_matrix.py [--scale S]``.
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
 import pytest
@@ -31,6 +39,7 @@ from repro.engine import (
     engine_names,
     filter_engine_options,
 )
+from repro.graph.digraph import EdgeLabeledDigraph
 from repro.graph.partition import disjoint_union, partition_graph
 from repro.graph.generators import labeled_erdos_renyi
 from repro.queries import RlcQuery
@@ -165,6 +174,98 @@ def run_registry_smoke(*, block_vertices: int = 8) -> ResultTable:
     return table
 
 
+# Flat spec -> edge-cut sharded counterpart for the single-WCC matrix.
+EDGE_CUT_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("rlc", "sharded:rlc?method=edge-cut&parts=4"),
+    ("bfs", "sharded:bfs?method=edge-cut&parts=4"),
+    ("bibfs", "sharded:bibfs?method=edge-cut&parts=4"),
+)
+
+
+def single_wcc_workload(
+    *, vertices: int = 80, queries: int = 200, seed: int = 7
+) -> Tuple["EdgeLabeledDigraph", List[RlcQuery]]:
+    """One connected graph plus a verified workload.
+
+    Random labeled edges overlaid on a spanning cycle, so the whole
+    graph is a single weakly connected component — the case where WCC
+    sharding degenerates to one shard and only ``edge-cut`` splits.
+    """
+    rng = random.Random(seed)
+    edges = {
+        (i, rng.randrange(2), (i + 1) % vertices) for i in range(vertices)
+    }
+    while len(edges) < 3 * vertices:
+        edges.add(
+            (rng.randrange(vertices), rng.randrange(2), rng.randrange(vertices))
+        )
+    graph = EdgeLabeledDigraph(vertices, sorted(edges), num_labels=2)
+    workload = generate_workload(
+        graph, K, num_true=queries // 2, num_false=queries // 2, seed=seed
+    )
+    return graph, list(workload)
+
+
+def run_edge_cut_matrix(
+    *, vertices: int = 80, queries: int = 200, seed: int = 7
+) -> ResultTable:
+    """Single-WCC matrix: flat vs edge-cut sharded, parity asserted.
+
+    Also asserts the point of the exercise: WCC partitioning yields one
+    shard on this graph, while the edge-cut build exercises several.
+    """
+    graph, workload = single_wcc_workload(
+        vertices=vertices, queries=queries, seed=seed
+    )
+    if partition_graph(graph).num_shards != 1:
+        raise AssertionError("single-WCC workload graph is not connected")
+    table = ResultTable(
+        title=(
+            f"Edge-cut matrix — single WCC, |V|={graph.num_vertices}, "
+            f"{len(workload)} queries"
+        ),
+        columns=["engine", "shards", "prepare", "query_set", "q/s", "wrong"],
+        formatters={
+            "prepare": format_seconds,
+            "query_set": format_micros,
+            "q/s": lambda v: f"{v:,.0f}" if v else "-",
+            "shards": lambda v: str(int(v)) if v else "-",
+        },
+    )
+    answers = {}
+    for flat_spec, sharded_spec in EDGE_CUT_MATRIX:
+        for spec in (flat_spec, sharded_spec):
+            engine = build_engine(spec, graph)
+            shards = 0
+            if spec.startswith("sharded:"):
+                shards = engine.partition.num_shards
+                if shards <= 1:
+                    raise AssertionError(
+                        f"{spec} built {shards} shard(s); the edge-cut matrix "
+                        "exists to exercise >1 shard on a single WCC"
+                    )
+            report = QueryService(engine, cache_size=0).run(workload)
+            answers[spec] = report.answers
+            table.add_row(
+                engine=spec,
+                shards=shards,
+                prepare=engine.stats().prepare_seconds,
+                query_set=report.seconds * 1e6,
+                **{"q/s": report.queries_per_second, "wrong": len(report.mismatches)},
+            )
+        if answers[sharded_spec] != answers[flat_spec]:
+            raise AssertionError(
+                f"{sharded_spec} disagrees with {flat_spec} on the "
+                "single-WCC workload"
+            )
+    table.notes.append(
+        "method=edge-cut splits the single component into 4 shards and "
+        "routes cross-shard queries through boundary hubs; wcc would "
+        "yield 1 shard here"
+    )
+    return table
+
+
 # ----------------------------------------------------------------------
 # pytest targets
 # ----------------------------------------------------------------------
@@ -204,6 +305,14 @@ def test_registry_smoke_covers_every_spec():
     assert any(spec.startswith("sharded:") for spec in listed)
 
 
+def test_edge_cut_matrix_shards_a_single_wcc_and_stays_in_parity():
+    table = run_edge_cut_matrix(vertices=40, queries=60, seed=11)
+    assert len(table.rows) == 2 * len(EDGE_CUT_MATRIX)
+    assert all(row["wrong"] == 0 for row in table.rows)
+    sharded_rows = [row for row in table.rows if row["shards"]]
+    assert sharded_rows and all(row["shards"] > 1 for row in sharded_rows)
+
+
 def main() -> None:
     parser = standard_parser(__doc__)
     parser.add_argument(
@@ -213,11 +322,15 @@ def main() -> None:
     if args.quick:
         run_registry_smoke().print()
         run_matrix(blocks=3, block_vertices=25, queries=60).print()
+        run_edge_cut_matrix(vertices=50, queries=80).print()
     else:
         run_matrix(
             blocks=args.blocks,
             block_vertices=int(120 * args.scale),
             queries=args.queries,
+        ).print()
+        run_edge_cut_matrix(
+            vertices=int(80 * args.scale), queries=args.queries
         ).print()
 
 

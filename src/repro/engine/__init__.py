@@ -17,6 +17,8 @@ optionally concurrent :class:`QueryService`::
 - :mod:`repro.engine.base` — the protocol and adapter scaffolding;
 - :mod:`repro.engine.adapters` — the eight flat engines;
 - :mod:`repro.engine.composite` — the partitioned :class:`ShardedEngine`;
+- :mod:`repro.engine.routing` — :class:`BoundaryRouter`, the sound
+  cross-shard evaluation over lossy (edge-cut) partitions;
 - :mod:`repro.engine.registry` — string-keyed construction and the
   ``name[:inner][?key=value&...]`` spec grammar;
 - :mod:`repro.engine.service` — batched, cached, verified serving.
@@ -46,11 +48,13 @@ from repro.engine.adapters import (
     VirtuosoSimEngine,
 )
 from repro.engine.composite import ShardedEngine
+from repro.engine.routing import BoundaryRouter
 from repro.engine.service import QueryService, ServiceReport
 
 __all__ = [
     "BfsEngine",
     "BiBfsEngine",
+    "BoundaryRouter",
     "DfsEngine",
     "EngineBase",
     "EngineStats",

@@ -7,34 +7,38 @@ engine (any registry spec — ``rlc-index``, ``bfs``, even a nested
 ``sharded:...``) over each shard's induced subgraph, and ``query`` /
 ``query_batch`` route by shard membership.
 
-**Soundness of cross-shard False.** The engine only serves *lossless*
-partitions (``cut_edges == 0``; every WCC partition qualifies, merged
-or not).  In a lossless partition each shard is a union of weakly
-connected components, so every path of the original graph lies inside
-exactly one shard's induced subgraph and no path joins vertices of
-different shards.  An RLC answer is witnessed by a path; therefore a
-query whose endpoints share a shard has the same answer on the shard's
-subgraph as on the whole graph, and a query whose endpoints live in
-different shards is unconditionally **false**.  A lossy (hash)
-partition breaks both halves of this argument, so ``prepare`` raises
-:class:`~repro.errors.EngineError` rather than answer unsoundly.
+**Two routing regimes.**  Over a *lossless* partition (``cut_edges ==
+0``; every WCC partition qualifies, merged or not) each shard is a
+union of weakly connected components: every path of the original graph
+lies inside exactly one shard, so a query whose endpoints share a
+shard is answered there verbatim and a cross-shard query is
+unconditionally **false**.  Over an ``edge-cut`` partition — the method
+that splits single-giant-component graphs — paths may cross shards, so
+the engine hands queries that have no shard-local witness to a
+:class:`~repro.engine.routing.BoundaryRouter`, which stitches
+shard-local sub-answers together across the recorded cut edges
+(boundary-hub routing; see that module and ``docs/ARCHITECTURE.md``
+for the soundness argument).  A ``hash`` partition records its cuts
+too but exists for partition-quality experiments — nearly every edge
+is cut, so ``prepare`` refuses it and points at ``edge-cut``.
 
 What sharding buys, exactly as in partitioned/landmark designs from
 the reachability-index literature (FERRARI-style budgeted per-partition
 indexes): index construction splits into independent per-shard builds
-over smaller graphs, cross-shard queries short-circuit without touching
-any index, and per-shard engines stay read-only after prepare so the
-concurrent :class:`~repro.engine.service.QueryService` can fan batches
-out across shards.
+over smaller graphs, cross-shard queries either short-circuit or touch
+only boundary hubs, and per-shard engines stay read-only after prepare
+so the concurrent :class:`~repro.engine.service.QueryService` can fan
+batches out across shards.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.base import EngineBase, EngineStats
 from repro.engine.registry import register, register_alias, resolve_engine_spec
+from repro.engine.routing import BoundaryRouter
 from repro.errors import EngineError
 from repro.graph.digraph import EdgeLabeledDigraph
 from repro.graph.partition import GraphPartition, partition_graph
@@ -46,14 +50,27 @@ __all__ = ["ShardedEngine"]
 class _ShardedBackend:
     """Prepared state of a :class:`ShardedEngine`: partition + engines."""
 
-    __slots__ = ("partition", "engines", "cross_shard_queries")
+    __slots__ = (
+        "partition",
+        "engines",
+        "router",
+        "cross_shard_queries",
+        "routed_queries",
+        "boundary_hops",
+    )
 
     def __init__(
-        self, partition: GraphPartition, engines: Tuple[EngineBase, ...]
+        self,
+        partition: GraphPartition,
+        engines: Tuple[EngineBase, ...],
+        router: Optional[BoundaryRouter],
     ) -> None:
         self.partition = partition
         self.engines = engines
+        self.router = router
         self.cross_shard_queries = 0
+        self.routed_queries = 0
+        self.boundary_hops = 0
 
     @property
     def capability_k(self):
@@ -76,9 +93,12 @@ class ShardedEngine(EngineBase):
       ``"rlc-index"``);
     - ``parts`` — target shard count; ``None`` means one shard per
       weakly connected component;
-    - ``method`` — partition method (see :func:`partition_graph`); only
-      lossless partitions are served, so ``"wcc"`` is the method that
-      works on every graph;
+    - ``method`` — partition method (see :func:`partition_graph`):
+      ``"wcc"`` (default) never cuts an edge and works on every graph;
+      ``"edge-cut"`` splits single-component graphs and serves
+      cross-shard queries through boundary-hub routing
+      (``sharded:rlc?method=edge-cut&parts=4``); ``"hash"`` is refused
+      — it is a partition-quality baseline, not a serving method;
     - ``build_workers`` — thread-pool width for *preparing* the inner
       engines; shards are independent graphs, so their builds fan out
       (``sharded:rlc?parts=4&build_workers=4``).  Answers are identical
@@ -144,17 +164,24 @@ class ShardedEngine(EngineBase):
         """The prepared per-shard inner engines (available once prepared)."""
         return self.backend.engines
 
+    @property
+    def router(self) -> Optional[BoundaryRouter]:
+        """The boundary-hub router, or None over a lossless partition."""
+        return self.backend.router
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def _prepare(self, graph: EdgeLabeledDigraph) -> _ShardedBackend:
         partition = partition_graph(graph, self._parts, method=self._method)
-        if not partition.lossless:
+        if not partition.lossless and self._method != "edge-cut":
             raise EngineError(
                 f"partition method {self._method!r} cut "
-                f"{partition.cut_edges} edges; a sharded engine over a lossy "
-                "partition would answer unsoundly — use method='wcc'"
+                f"{partition.cut_edges} edges; a sharded engine over that "
+                "partition would answer unsoundly — use method='wcc' "
+                "(lossless) or method='edge-cut' (lossy but served through "
+                "boundary-hub routing)"
             )
         inner_cls, inner_options = resolve_engine_spec(
             self._inner_spec, **self._inner_options
@@ -176,7 +203,8 @@ class ShardedEngine(EngineBase):
                 engines = tuple(pool.map(build, partition.shards))
         else:
             engines = tuple(build(shard) for shard in partition.shards)
-        return _ShardedBackend(partition, engines)
+        router = None if partition.lossless else BoundaryRouter(partition, engines)
+        return _ShardedBackend(partition, engines, router)
 
     # ------------------------------------------------------------------
     # Queries
@@ -193,7 +221,17 @@ class ShardedEngine(EngineBase):
         )
         partition = backend.partition
         source_shard = partition.shard_id(source)
-        if source_shard != partition.shard_id(target):
+        cross = source_shard != partition.shard_id(target)
+        if backend.router is not None:
+            answer, hops, used_bfs = backend.router.route(
+                source, target, label_tuple
+            )
+            with self._stats_lock:
+                backend.cross_shard_queries += 1 if cross else 0
+                backend.routed_queries += 1 if used_bfs else 0
+                backend.boundary_hops += hops
+            return answer
+        if cross:
             with self._stats_lock:
                 backend.cross_shard_queries += 1
             return False
@@ -210,41 +248,81 @@ class ShardedEngine(EngineBase):
         Constraint validation is amortized like the inner engines do it
         (:func:`repro.queries.group_queries_by_constraint` — one
         :func:`validate_rlc_query` per distinct constraint, vertex
-        checks per query); cross-shard queries are answered False after
-        validation without reaching any inner engine.
+        checks per query).  Over a lossless partition, cross-shard
+        queries are answered False after validation without reaching
+        any inner engine.  Over an edge-cut partition, same-shard
+        queries still take the grouped per-shard ``query_batch`` fast
+        path first; only the locally-False remainder and the
+        cross-shard queries run the boundary router, which is seeded
+        with the batch results so nothing is evaluated twice.
         """
         answers: List[bool] = [False] * len(queries)
         partition = backend.partition
         per_shard: Dict[int, Tuple[List[int], List[RlcQuery]]] = {}
-        cross_shard = 0
+        cross_shard = routed = hops = 0
+        router = backend.router
+        # (position, validated constraint) pairs that need routing:
+        # cross-shard queries up front, locally-False same-shard ones
+        # after the grouped fast path below.
+        needs_routing: List[Tuple[int, Tuple[int, ...]]] = []
+        constraint_of: Dict[int, Tuple[int, ...]] = {}
         for label_tuple, positions in group_queries_by_constraint(
             self.graph, queries, k=backend.capability_k
         ):
             for position in positions:
                 query = queries[position]
                 source_shard = partition.shard_id(query.source)
-                if source_shard != partition.shard_id(query.target):
-                    cross_shard += 1
+                cross = source_shard != partition.shard_id(query.target)
+                cross_shard += 1 if cross else 0
+                if cross:
+                    if router is not None:
+                        needs_routing.append((position, label_tuple))
                     continue
                 shard = partition.shards[source_shard]
-                routed_positions, routed = per_shard.setdefault(
+                constraint_of[position] = label_tuple
+                routed_positions, shard_queries = per_shard.setdefault(
                     source_shard, ([], [])
                 )
                 routed_positions.append(position)
-                routed.append(
+                shard_queries.append(
                     RlcQuery(
                         shard.to_local(query.source),
                         shard.to_local(query.target),
                         label_tuple,
                     )
                 )
-        for shard_index, (positions, routed) in per_shard.items():
-            shard_answers = backend.engines[shard_index].query_batch(routed)
-            for position, answer in zip(positions, shard_answers):
+        for shard_index, (positions, shard_queries) in per_shard.items():
+            shard_answers = backend.engines[shard_index].query_batch(shard_queries)
+            for position, local_query, answer in zip(
+                positions, shard_queries, shard_answers
+            ):
                 answers[position] = answer
-        if cross_shard:
+                if router is not None:
+                    router.seed_cycle(
+                        shard_index,
+                        local_query.source,
+                        local_query.target,
+                        local_query.labels,
+                        answer,
+                    )
+                    if not answer:
+                        # A witness may still leave and re-enter the
+                        # shard; the seeded memo makes route() skip
+                        # straight to the product BFS.
+                        needs_routing.append((position, constraint_of[position]))
+        for position, label_tuple in needs_routing:
+            query = queries[position]
+            answer, query_hops, used_bfs = router.route(
+                query.source, query.target, label_tuple
+            )
+            answers[position] = answer
+            routed += 1 if used_bfs else 0
+            hops += query_hops
+        if cross_shard or routed or hops:
             with self._stats_lock:
                 backend.cross_shard_queries += cross_shard
+                backend.routed_queries += routed
+                backend.boundary_hops += hops
         return answers
 
     # ------------------------------------------------------------------
@@ -252,7 +330,15 @@ class ShardedEngine(EngineBase):
     # ------------------------------------------------------------------
 
     def stats(self) -> EngineStats:
-        """Composite counters plus per-shard aggregates in ``extra``."""
+        """Composite counters plus per-shard aggregates in ``extra``.
+
+        ``cross_shard_queries`` counts queries whose endpoints live in
+        different shards; ``routed_queries`` / ``boundary_hops`` count
+        boundary-router product-BFS runs and the cut-edge traversals
+        they explored (always 0 over a lossless partition).  These flow
+        into :meth:`QueryService.counters` and ``Session.stats`` with
+        an ``engine_`` prefix.
+        """
         stats = self._stats
         backend = self._backend
         if backend is not None:
@@ -264,6 +350,8 @@ class ShardedEngine(EngineBase):
                     "largest_shard_vertices": float(max(sizes, default=0)),
                     "cut_edges": float(backend.partition.cut_edges),
                     "cross_shard_queries": float(backend.cross_shard_queries),
+                    "routed_queries": float(backend.routed_queries),
+                    "boundary_hops": float(backend.boundary_hops),
                     "inner_prepare_seconds": sum(s.prepare_seconds for s in inner),
                     "inner_queries": float(
                         sum(s.queries + s.batched_queries for s in inner)

@@ -1,40 +1,45 @@
-"""Graph sharding: weakly-connected-component partitioning.
+"""Graph sharding: WCC, hash, and cut-edge-aware partitioning.
 
 The RLC index (and every other answerer in the repo) is built and
-queried per-graph, but none of its entries ever cross a weakly
-connected component: a path — and therefore an RLC witness — lives
-entirely inside one WCC.  The reachability-index literature (FERRARI's
+queried per-graph.  The reachability-index literature (FERRARI's
 budgeted per-partition indexes, landmark/partitioned 2-hop variants)
-uses exactly this observation to scale index construction: partition,
-index each part independently, route queries.
-
-This module provides the graph-layer half of that design:
+scales index construction by partitioning: index each part
+independently, route queries.  This module provides the graph-layer
+half of that design:
 
 - :func:`weakly_connected_components` — union-find WCCs;
 - :func:`partition_graph` — a :class:`GraphPartition`: vertex → shard
   map plus per-shard induced subgraphs with stable vertex relabeling.
-  The primary method (``"wcc"``) merges components into a requested
-  number of size-balanced shards and **never cuts an edge**; the
-  ``"hash"`` fallback splits arbitrary graphs (including a single giant
-  WCC) at the price of cut edges, recorded on the partition;
+  Three methods:
+
+  - ``"wcc"`` (default) merges whole components into a requested
+    number of size-balanced shards and **never cuts an edge**;
+  - ``"edge-cut"`` splits arbitrary graphs — a single giant WCC
+    included — into size-balanced shards along an undirected-BFS
+    locality order, **recording every cut edge with its label** and
+    marking each shard's boundary vertices, which is exactly what
+    :class:`repro.engine.BoundaryRouter` needs to answer cross-shard
+    queries soundly;
+  - ``"hash"`` assigns ``v -> v % parts`` regardless of connectivity —
+    a partition-quality baseline, not a serving method;
+
 - :func:`disjoint_union` — compose graphs into one multi-component
   graph (the generator used by sharding tests and benchmarks).
 
-**Soundness.** For a partition with ``cut_edges == 0`` (every WCC
-partition, merged or not), any path of the original graph is a path of
-exactly one shard's induced subgraph, and vertices in different shards
-are mutually unreachable.  Hence an RLC query routes to the shard
-holding both endpoints and is answered there verbatim, and a query
-whose endpoints live in different shards is **false** — no engine ever
-needs to look across shards.  A lossy (hash) partition offers no such
-guarantee, which is why :class:`repro.engine.ShardedEngine` refuses it.
-
-Engine-layer routing lives in :mod:`repro.engine.composite`.
+When a partition is *lossless* (``cut_edges == 0``) every path of the
+original graph lives inside one shard and cross-shard pairs are
+unreachable; when it is lossy, the recorded ``cut_edge_list`` plus the
+per-shard boundary vertices let the engine layer stitch per-shard
+answers back together.  The full soundness argument for both regimes
+is written out in ``docs/SHARDING.md`` and ``docs/ARCHITECTURE.md``;
+engine-layer routing lives in :mod:`repro.engine.composite` and
+:mod:`repro.engine.routing`.
 """
 
 from __future__ import annotations
 
 import numbers
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -44,6 +49,7 @@ from repro.errors import GraphError
 from repro.graph.digraph import EdgeLabeledDigraph
 
 __all__ = [
+    "CutEdge",
     "GraphPartition",
     "GraphShard",
     "disjoint_union",
@@ -51,7 +57,13 @@ __all__ = [
     "weakly_connected_components",
 ]
 
-PARTITION_METHODS = ("wcc", "hash")
+PARTITION_METHODS = ("wcc", "hash", "edge-cut")
+
+#: A cut edge as a global ``(source, label, target)`` triple.
+CutEdge = Tuple[int, int, int]
+
+#: ``__repr__`` shows at most this many per-shard sizes before eliding.
+_REPR_SIZES = 8
 
 
 def weakly_connected_components(graph: EdgeLabeledDigraph) -> List[List[int]]:
@@ -93,6 +105,11 @@ class GraphShard:
     across runs.  ``subgraph`` is the induced subgraph over the shard's
     vertices with local ids ``0 .. len(vertices) - 1`` and the parent
     graph's label alphabet (and dictionary) unchanged.
+
+    ``boundary_out`` / ``boundary_in`` are the shard's boundary
+    vertices (global ids, ascending): sources of cut edges leaving the
+    shard and targets of cut edges entering it.  Both are empty for
+    every shard of a lossless partition.
     """
 
     index: int
@@ -101,9 +118,12 @@ class GraphShard:
     # Derived from `vertices`; excluded from eq/hash so frozen-dataclass
     # hashing works (a dict field would make the shard unhashable).
     _global_to_local: Dict[int, int] = field(compare=False)
+    boundary_out: Tuple[int, ...] = ()
+    boundary_in: Tuple[int, ...] = ()
 
     @property
     def num_vertices(self) -> int:
+        """Number of vertices in this shard."""
         return len(self.vertices)
 
     def to_local(self, vertex: int) -> int:
@@ -129,7 +149,8 @@ class GraphShard:
     def __repr__(self) -> str:
         return (
             f"GraphShard(index={self.index}, |V|={self.num_vertices}, "
-            f"|E|={self.subgraph.num_edges})"
+            f"|E|={self.subgraph.num_edges}, "
+            f"boundary={len(self.boundary_out)}/{len(self.boundary_in)})"
         )
 
 
@@ -137,10 +158,12 @@ class GraphPartition:
     """A partition of an :class:`EdgeLabeledDigraph` into vertex shards.
 
     Built by :func:`partition_graph`; holds the vertex → shard map, the
-    per-shard induced subgraphs, and the number of edges the partition
-    cut (edges whose endpoints land in different shards — always 0 for
-    WCC partitions).  ``lossless`` is the soundness predicate the
-    composite engine checks before serving.
+    per-shard induced subgraphs, and the list of edges the partition cut
+    (edges whose endpoints land in different shards — always empty for
+    WCC partitions).  ``lossless`` is the predicate under which the
+    composite engine may route by shard membership alone; a lossy
+    partition is servable through boundary-hub routing when its cut
+    edges are recorded (see :class:`repro.engine.BoundaryRouter`).
     """
 
     def __init__(
@@ -149,18 +172,26 @@ class GraphPartition:
         shards: Sequence[GraphShard],
         shard_of: np.ndarray,
         *,
-        cut_edges: int,
+        cut_edge_list: Sequence[CutEdge] = (),
         method: str,
     ) -> None:
         self.graph = graph
         self.shards: Tuple[GraphShard, ...] = tuple(shards)
         self._shard_of = shard_of
-        self.cut_edges = int(cut_edges)
+        self.cut_edge_list: Tuple[CutEdge, ...] = tuple(
+            (int(u), int(label), int(v)) for u, label, v in cut_edge_list
+        )
         self.method = method
 
     @property
     def num_shards(self) -> int:
+        """Number of shards in the partition."""
         return len(self.shards)
+
+    @property
+    def cut_edges(self) -> int:
+        """Number of edges whose endpoints land in different shards."""
+        return len(self.cut_edge_list)
 
     @property
     def lossless(self) -> bool:
@@ -169,7 +200,27 @@ class GraphPartition:
         Exactly then each shard's induced subgraph preserves every path
         touching its vertices, and cross-shard pairs are unreachable.
         """
-        return self.cut_edges == 0
+        return not self.cut_edge_list
+
+    @property
+    def boundary_vertices(self) -> Tuple[int, ...]:
+        """All endpoints of cut edges (global ids, ascending)."""
+        seen = set()
+        for u, _, v in self.cut_edge_list:
+            seen.add(u)
+            seen.add(v)
+        return tuple(sorted(seen))
+
+    def cut_edges_from(self, vertex: int) -> Tuple[Tuple[int, int], ...]:
+        """The ``(label, target)`` pairs of cut edges leaving ``vertex``.
+
+        Empty for non-boundary vertices.  An introspection convenience
+        (each call scans the cut-edge list); the routing layer builds
+        its own grouped per-vertex index once at construction instead.
+        """
+        return tuple(
+            (label, v) for u, label, v in self.cut_edge_list if u == vertex
+        )
 
     def shard_id(self, vertex: int) -> int:
         """The shard index holding (global) ``vertex``."""
@@ -187,9 +238,14 @@ class GraphPartition:
 
     def __repr__(self) -> str:
         sizes = list(self.shard_sizes())
+        if len(sizes) > _REPR_SIZES:
+            shown = ", ".join(str(size) for size in sizes[:_REPR_SIZES])
+            rendered = f"[{shown}, ... +{len(sizes) - _REPR_SIZES} more]"
+        else:
+            rendered = str(sizes)
         return (
             f"GraphPartition(method={self.method!r}, shards={self.num_shards}, "
-            f"sizes={sizes}, cut_edges={self.cut_edges})"
+            f"sizes={rendered}, cut_edges={self.cut_edges})"
         )
 
 
@@ -215,6 +271,55 @@ def _balanced_merge(
     return [group for group in groups if group]
 
 
+def _locality_order(graph: EdgeLabeledDigraph) -> List[int]:
+    """Vertices in undirected-BFS order from each component's minimum.
+
+    Consecutive vertices in this order tend to be close in the
+    undirected graph, so chunking it into contiguous blocks keeps most
+    edges internal — the cheap, deterministic stand-in for a min-cut
+    partitioner that the ``edge-cut`` method builds on.
+    """
+    n = graph.num_vertices
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    sources, _, targets = graph.edge_arrays()
+    for u, v in zip(sources.tolist(), targets.tolist()):
+        if u != v:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    order: List[int] = []
+    seen = [False] * n
+    for root in range(n):
+        if seen[root]:
+            continue
+        seen[root] = True
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+    return order
+
+
+def _edge_cut_groups(graph: EdgeLabeledDigraph, num_parts: int) -> List[List[int]]:
+    """Chunk the locality order into ``num_parts`` near-equal blocks."""
+    order = _locality_order(graph)
+    n = len(order)
+    parts = min(num_parts, max(n, 1))
+    base, extra = divmod(n, parts)
+    groups: List[List[int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        groups.append(sorted(order[start : start + size]))
+        start += size
+    return groups
+
+
 def partition_graph(
     graph: EdgeLabeledDigraph,
     num_parts: Optional[int] = None,
@@ -227,14 +332,23 @@ def partition_graph(
     and never cuts an edge: with ``num_parts`` unset each component is
     its own shard; otherwise components are merged size-balanced into
     ``min(num_parts, #components)`` shards (a connected graph therefore
-    yields one shard — splitting a component would cut edges and break
-    the soundness argument of the module docstring).
+    yields one shard — splitting a component would cut edges).
+
+    ``method="edge-cut"`` splits arbitrary graphs — a single giant WCC
+    included — into ``num_parts`` near-equal shards along an
+    undirected-BFS locality order.  Edges whose endpoints land in
+    different shards are removed from the induced subgraphs but
+    **recorded with their labels** in ``cut_edge_list``, and each
+    shard's boundary vertices are marked, so the engine layer can route
+    cross-shard queries soundly through boundary hubs.
 
     ``method="hash"`` assigns vertex ``v`` to shard ``v % num_parts``
-    regardless of connectivity; edges whose endpoints land in different
-    shards are dropped from the induced subgraphs and counted in
-    ``cut_edges``.  Use it to study partition quality, not to serve
-    queries (the composite engine rejects lossy partitions).
+    regardless of connectivity.  Cut edges are recorded like for
+    ``edge-cut``, but the method exists to study partition quality —
+    nearly every edge is cut — and the composite engine refuses to
+    serve it.
+
+    See ``docs/SHARDING.md`` for when each method is sound.
     """
     if method not in PARTITION_METHODS:
         raise GraphError(
@@ -256,9 +370,19 @@ def partition_graph(
             groups = components
         else:
             groups = _balanced_merge(components, num_parts)
+    elif method == "edge-cut":
+        if num_parts is None:
+            raise GraphError(
+                "edge-cut partitioning requires num_parts (how many shards "
+                "to split the graph into)"
+            )
+        groups = _edge_cut_groups(graph, num_parts)
     else:
         if num_parts is None:
-            raise GraphError("hash partitioning requires num_parts")
+            raise GraphError(
+                "hash partitioning requires num_parts; note method='edge-cut' "
+                "is the lossy method the sharded engine can actually serve"
+            )
         parts = min(num_parts, max(graph.num_vertices, 1))
         groups = [list(range(shard, graph.num_vertices, parts)) for shard in range(parts)]
 
@@ -267,9 +391,11 @@ def partition_graph(
         shard_of[group] = shard_index
 
     # One pass over the edge arrays routes every edge to its shard (or
-    # to the cut when its endpoints disagree).
+    # to the recorded cut when its endpoints disagree).
     shard_edges: List[List[Tuple[int, int, int]]] = [[] for _ in groups]
-    cut_edges = 0
+    cut_edge_list: List[CutEdge] = []
+    boundary_out: List[set] = [set() for _ in groups]
+    boundary_in: List[set] = [set() for _ in groups]
     sources, labels, targets = graph.edge_arrays()
     shard_sources = shard_of[sources] if sources.size else shard_of[:0]
     shard_targets = shard_of[targets] if targets.size else shard_of[:0]
@@ -284,7 +410,9 @@ def partition_graph(
         shard_targets.tolist(),
     ):
         if su != sv:
-            cut_edges += 1
+            cut_edge_list.append((u, label, v))
+            boundary_out[su].add(u)
+            boundary_in[sv].add(v)
             continue
         shard_edges[su].append((local_of[u], label, local_of[v]))
 
@@ -302,10 +430,12 @@ def partition_graph(
                 vertices=tuple(group),
                 subgraph=subgraph,
                 _global_to_local={v: i for i, v in enumerate(group)},
+                boundary_out=tuple(sorted(boundary_out[shard_index])),
+                boundary_in=tuple(sorted(boundary_in[shard_index])),
             )
         )
     return GraphPartition(
-        graph, shards, shard_of, cut_edges=cut_edges, method=method
+        graph, shards, shard_of, cut_edge_list=cut_edge_list, method=method
     )
 
 

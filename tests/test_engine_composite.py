@@ -104,10 +104,18 @@ class TestValidation:
         # Inner engines without a bound report None, nested or not.
         assert create_engine("sharded:sharded:bfs?parts=2", multi).k is None
 
-    def test_lossy_partition_refused(self):
+    def test_hash_partition_refused_and_names_edge_cut(self):
         graph = EdgeLabeledDigraph(4, [(0, 0, 1), (1, 0, 2), (2, 0, 3)], num_labels=1)
-        with pytest.raises(EngineError, match="unsound"):
+        with pytest.raises(EngineError, match="unsound") as excinfo:
             create_engine("sharded:bfs?parts=2&method=hash", graph)
+        assert "edge-cut" in str(excinfo.value)
+
+    def test_edge_cut_partition_is_served_not_refused(self):
+        graph = EdgeLabeledDigraph(4, [(0, 0, 1), (1, 0, 2), (2, 0, 3)], num_labels=1)
+        engine = create_engine("sharded:bfs?parts=2&method=edge-cut", graph)
+        assert engine.router is not None
+        assert engine.query(RlcQuery(0, 3, (0,))) is True
+        assert engine.query(RlcQuery(3, 0, (0,))) is False
 
 
 class TestOptionsAndStats:

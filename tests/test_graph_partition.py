@@ -128,10 +128,13 @@ class TestHashPartition:
         # vertex v -> shard v % 2, so every edge of the path is cut.
         assert partition.cut_edges == 3
         assert not partition.lossless
+        # Cut edges are recorded with their labels, in edge-array order.
+        assert partition.cut_edge_list == ((0, 0, 1), (1, 0, 2), (2, 0, 3))
 
-    def test_hash_requires_num_parts(self):
-        with pytest.raises(GraphError, match="requires num_parts"):
+    def test_hash_requires_num_parts_and_names_edge_cut(self):
+        with pytest.raises(GraphError, match="requires num_parts") as excinfo:
             partition_graph(_three_components(), method="hash")
+        assert "edge-cut" in str(excinfo.value)
 
     def test_invalid_inputs(self):
         with pytest.raises(GraphError, match="num_parts"):
@@ -142,6 +145,104 @@ class TestHashPartition:
             partition_graph(_three_components(), True)
         with pytest.raises(GraphError, match="unknown partition method"):
             partition_graph(_three_components(), 2, method="metis")
+
+
+class TestEdgeCutPartition:
+    def _ring(self, n: int = 8) -> EdgeLabeledDigraph:
+        return EdgeLabeledDigraph(
+            n, [(i, i % 2, (i + 1) % n) for i in range(n)], num_labels=2
+        )
+
+    def test_single_wcc_graph_actually_splits(self):
+        graph = self._ring()
+        assert partition_graph(graph).num_shards == 1  # wcc cannot split it
+        partition = partition_graph(graph, 4, method="edge-cut")
+        assert partition.method == "edge-cut"
+        assert partition.num_shards == 4
+        assert sorted(partition.shard_sizes()) == [2, 2, 2, 2]
+        assert not partition.lossless
+
+    def test_cut_edges_keep_their_labels(self):
+        graph = self._ring()
+        partition = partition_graph(graph, 4, method="edge-cut")
+        for u, label, v in partition.cut_edge_list:
+            assert graph.has_edge(u, label, v)
+            assert partition.shard_id(u) != partition.shard_id(v)
+        # Induced edges + cut edges account for every edge exactly once.
+        induced = sum(shard.subgraph.num_edges for shard in partition.shards)
+        assert induced + partition.cut_edges == graph.num_edges
+
+    def test_boundary_vertices_are_cut_endpoints(self):
+        graph = self._ring()
+        partition = partition_graph(graph, 2, method="edge-cut")
+        tails = {u for u, _, _ in partition.cut_edge_list}
+        heads = {v for _, _, v in partition.cut_edge_list}
+        assert set(partition.boundary_vertices) == tails | heads
+        for shard in partition.shards:
+            assert set(shard.boundary_out) == {
+                u for u in tails if partition.shard_id(u) == shard.index
+            }
+            assert set(shard.boundary_in) == {
+                v for v in heads if partition.shard_id(v) == shard.index
+            }
+            assert all(vertex in shard for vertex in shard.boundary_out)
+
+    def test_cut_edges_from_vertex(self):
+        graph = EdgeLabeledDigraph(2, [(0, 0, 1), (0, 1, 1)], num_labels=2)
+        partition = partition_graph(graph, 2, method="edge-cut")
+        assert partition.cut_edges_from(0) == ((0, 1), (1, 1))
+        assert partition.cut_edges_from(1) == ()
+
+    def test_locality_order_beats_hash_on_cut_count(self):
+        # On a ring, BFS-order chunks cut a handful of edges (the first
+        # chunk grows in both directions, so parts + 1) while hash
+        # striping cuts every single one.
+        graph = self._ring(12)
+        edge_cut = partition_graph(graph, 3, method="edge-cut")
+        hashed = partition_graph(graph, 3, method="hash")
+        assert edge_cut.cut_edges == 4
+        assert hashed.cut_edges == 12
+
+    def test_edge_cut_requires_num_parts(self):
+        with pytest.raises(GraphError, match="requires num_parts"):
+            partition_graph(self._ring(), method="edge-cut")
+
+    def test_parts_clamp_to_vertex_count(self):
+        graph = EdgeLabeledDigraph(2, [(0, 0, 1)], num_labels=1)
+        partition = partition_graph(graph, 5, method="edge-cut")
+        assert partition.num_shards == 2
+
+    def test_multi_component_graphs_split_too(self):
+        partition = partition_graph(_three_components(), 3, method="edge-cut")
+        assert partition.num_shards == 3
+        assert sum(partition.shard_sizes()) == 6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_conserve_edges_and_vertices(self, seed):
+        graph = random_graph(seed, max_vertices=14)
+        partition = partition_graph(graph, 4, method="edge-cut")
+        assert sum(partition.shard_sizes()) == graph.num_vertices
+        induced = sum(shard.subgraph.num_edges for shard in partition.shards)
+        assert induced + partition.cut_edges == graph.num_edges
+        assert partition.cut_edges == len(partition.cut_edge_list)
+
+
+class TestRepr:
+    def test_small_partition_repr_lists_all_sizes(self):
+        partition = partition_graph(_three_components())
+        assert "sizes=[3, 2, 1]" in repr(partition)
+
+    def test_many_shard_repr_is_truncated(self):
+        graph = EdgeLabeledDigraph(40, [], num_labels=1)
+        partition = partition_graph(graph, 40, method="edge-cut")
+        rendered = repr(partition)
+        assert "+32 more" in rendered
+        assert rendered.count("1,") <= 8
+
+    def test_shard_repr_shows_boundary_counts(self):
+        graph = EdgeLabeledDigraph(2, [(0, 0, 1)], num_labels=1)
+        partition = partition_graph(graph, 2, method="edge-cut")
+        assert "boundary=1/0" in repr(partition.shards[0])
 
 
 class TestDisjointUnion:

@@ -1,0 +1,120 @@
+"""Offline markdown link checker for README.md and docs/*.md.
+
+Stdlib only — no new dependencies.  Checks, for every markdown file
+passed on the command line (directories are expanded to their ``*.md``
+files):
+
+- relative links resolve to an existing file or directory;
+- intra-repo anchors (``file.md#section`` or ``#section``) match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to hyphens);
+- reference-style definitions are honored.
+
+External ``http(s)``/``mailto`` links are *not* fetched: CI must stay
+hermetic, and the repository's own cross-references are what rot when
+files move.  Exit status is non-zero when any link is broken, so the
+``docs-check`` CI job can gate on it::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets should resolve too.
+_INLINE_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> List[str]:
+    """All anchor slugs a markdown file defines, duplicates suffixed."""
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: List[str] = []
+    seen = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.append(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def iter_links(path: pathlib.Path) -> List[str]:
+    """Every link target of a markdown file, code fences excluded."""
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    targets = [match.group(1) for match in _INLINE_LINK.finditer(text)]
+    targets.extend(match.group(1) for match in _REFERENCE_DEF.finditer(text))
+    return targets
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Broken-link descriptions for one markdown file (empty = clean).
+
+    Relative targets resolve against the file's own directory, exactly
+    as markdown renderers do.
+    """
+    problems: List[str] = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path.resolve()
+        if base and not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() not in (".md", ""):
+                continue  # anchors into non-markdown files are not checked
+            if anchor not in heading_slugs(resolved):
+                problems.append(f"{path}: missing anchor -> {target}")
+    return problems
+
+
+def expand(arguments: List[str]) -> List[pathlib.Path]:
+    """Expand files/directories into the markdown files to check."""
+    paths: List[pathlib.Path] = []
+    for argument in arguments:
+        path = pathlib.Path(argument)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.md")))
+        else:
+            paths.append(path)
+    return paths
+
+
+def main(arguments: List[str]) -> int:
+    targets = expand(arguments or ["README.md", "docs"])
+    missing = [path for path in targets if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    checked = 0
+    for path in targets:
+        problems.extend(check_file(path))
+        checked += 1
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} files, {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,14 +4,26 @@ Walks the :mod:`repro` package, collecting module, class and function
 docstrings into a single markdown reference.  Run from the repository
 root::
 
-    python tools/gen_api_docs.py
+    python tools/gen_api_docs.py            # regenerate docs/API.md
+    python tools/gen_api_docs.py --check    # CI: fail if stale, write nothing
 
 The committed ``docs/API.md`` is the output of this script; regenerate
 it after changing public signatures or docstrings.
+
+Two guards make the script a CI gate (the ``docs-check`` job):
+
+- the public facade packages must never drop out of the reference
+  silently (e.g. a skipped package or a swallowed import error);
+- every public symbol — and every public method/property of a public
+  class — in the *documentation-guarded* modules (the partition layer
+  and the composite/routing engines, whose soundness story lives in
+  prose) must carry a docstring, or the script exits non-zero listing
+  the offenders.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import pathlib
@@ -23,6 +35,14 @@ import repro
 OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 SKIP_MODULES = {"repro.__main__"}
+
+# Modules whose public surface must be fully docstring-covered; missing
+# docstrings fail CI rather than silently producing empty doc entries.
+DOCSTRING_GUARDED = (
+    "repro.graph.partition",
+    "repro.engine.composite",
+    "repro.engine.routing",
+)
 
 
 def first_paragraph(doc: str) -> str:
@@ -53,6 +73,40 @@ def public_members(module):
                 yield name, obj
 
 
+def iter_class_members(cls):
+    """Yield ``(name, member)`` for a class's public methods/properties."""
+    for method_name in sorted(vars(cls)):
+        if method_name.startswith("_"):
+            continue
+        member = inspect.getattr_static(cls, method_name)
+        if isinstance(member, (staticmethod, classmethod)):
+            member = member.__func__
+        if inspect.isfunction(member) or isinstance(member, property):
+            yield method_name, member
+
+
+def missing_docstrings(module_names=DOCSTRING_GUARDED):
+    """Public symbols in the guarded modules with no docstring."""
+    missing = []
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        if not (module.__doc__ or "").strip():
+            missing.append(module_name)
+        for name, obj in public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(obj):
+                for member_name, member in iter_class_members(obj):
+                    doc = (
+                        member.fget.__doc__
+                        if isinstance(member, property) and member.fget
+                        else member.__doc__
+                    )
+                    if not (doc or "").strip():
+                        missing.append(f"{module_name}.{name}.{member_name}")
+    return missing
+
+
 def render_signature(obj) -> str:
     try:
         return str(inspect.signature(obj))
@@ -66,12 +120,7 @@ def render_class(name, cls) -> str:
     if summary:
         parts.append(summary + "\n")
     methods = []
-    for method_name in sorted(vars(cls)):
-        if method_name.startswith("_"):
-            continue
-        member = inspect.getattr_static(cls, method_name)
-        if isinstance(member, (staticmethod, classmethod)):
-            member = member.__func__
+    for method_name, member in iter_class_members(cls):
         if inspect.isfunction(member):
             doc = first_paragraph(member.__doc__ or "")
             methods.append(
@@ -95,11 +144,16 @@ def render_function(name, fn) -> str:
     return text
 
 
-def main() -> None:
+def generate() -> str:
+    """Render the full reference, running both content guards."""
     sections = [
         "# repro API reference",
         "",
         "Generated by `python tools/gen_api_docs.py` — do not edit by hand.",
+        "",
+        "Prose companions: [ARCHITECTURE.md](ARCHITECTURE.md) (layer map and",
+        "soundness arguments) and [SHARDING.md](SHARDING.md) (partition",
+        "methods and boundary-hub routing).",
         "",
     ]
     for module in iter_modules():
@@ -123,6 +177,34 @@ def main() -> None:
     for required in ("repro.api", "repro.engine", "repro.core"):
         if f"## module `{required}`" not in text:
             raise SystemExit(f"API docs lost required package {required!r}")
+    undocumented = missing_docstrings()
+    if undocumented:
+        listing = "\n".join(f"  - {symbol}" for symbol in undocumented)
+        raise SystemExit(
+            "public symbols missing docstrings in documentation-guarded "
+            f"modules:\n{listing}"
+        )
+    return text
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify docs/API.md is up to date without writing it",
+    )
+    args = parser.parse_args()
+    text = generate()
+    if args.check:
+        committed = OUT_PATH.read_text(encoding="utf-8") if OUT_PATH.exists() else ""
+        if committed != text:
+            raise SystemExit(
+                "docs/API.md is stale; regenerate it with "
+                "`python tools/gen_api_docs.py`"
+            )
+        print(f"{OUT_PATH} is up to date ({len(text)} chars)")
+        return
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(text, encoding="utf-8")
     print(f"wrote {OUT_PATH} ({OUT_PATH.stat().st_size} bytes)")
