@@ -143,3 +143,69 @@ def test_batched_execution_beats_query_at_a_time():
         f"batched execution only {speedup:.2f}x faster "
         f"(sequential {sequential * 1e3:.2f}ms, batched {batched * 1e3:.2f}ms)"
     )
+
+
+# ----------------------------------------------------------------------
+# Prepared-query lifecycle: compile-once vs per-call compilation
+# ----------------------------------------------------------------------
+
+
+def test_engine_query_prepared_reuse(benchmark):
+    engine = _rlc_engine()
+    queries = _shared_constraint_queries()
+    prepared = {
+        labels: engine.prepare_query(labels)
+        for labels in {q.labels for q in queries}
+    }
+    benchmark(
+        lambda: [
+            engine.query_prepared(prepared[q.labels], q.source, q.target).answer
+            for q in queries
+        ]
+    )
+
+
+def test_prepared_reuse_beats_per_call_compilation():
+    """The prepared-parity guarantee: compile-once wins on shared constraints.
+
+    Asserted (not just reported) so a regression in the prepared path
+    fails the benchmark smoke run (the CI ``prepared-parity`` job):
+    preparing each distinct constraint once and re-using it across a
+    1000-query shared-constraint workload is >= 1.3x faster than the
+    legacy ``query()`` shim, which re-compiles (validation, rotation
+    set, per-constraint state) on every call.  Answers identical.
+    """
+    import time
+
+    engine = _rlc_engine()
+    queries = _shared_constraint_queries(1000)
+    per_call_answers = [engine.query(q) for q in queries]  # warm up
+    prepared = {
+        labels: engine.prepare_query(labels)
+        for labels in {q.labels for q in queries}
+    }
+
+    def prepared_run():
+        return [
+            engine.query_prepared(prepared[q.labels], q.source, q.target).answer
+            for q in queries
+        ]
+
+    assert prepared_run() == per_call_answers
+
+    def best_of(fn, repeats=3):
+        samples = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - started)
+        return min(samples)
+
+    per_call = best_of(lambda: [engine.query(q) for q in queries])
+    reused = best_of(prepared_run)
+    speedup = per_call / reused
+    print(f"\nprepared re-use speedup over per-call compilation: {speedup:.2f}x")
+    assert speedup >= 1.3, (
+        f"prepared re-use only {speedup:.2f}x faster "
+        f"(per-call {per_call * 1e3:.2f}ms, prepared {reused * 1e3:.2f}ms)"
+    )

@@ -39,6 +39,7 @@ from repro.errors import (
     BudgetExceededError,
     CapabilityError,
     EngineError,
+    EngineOptionError,
     GraphError,
     NonPrimitiveConstraintError,
     QueryError,
@@ -72,6 +73,7 @@ from repro.core import (
     build_rlc_index,
     find_witness_path,
 )
+from repro.engine.base import PreparedQuery, QueryOutcome
 from repro.api import (
     AsyncQueryService,
     PersistentResultCache,
@@ -80,13 +82,16 @@ from repro.api import (
     open_session,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # Engine-layer entry points that predate the repro.api facade.  They
 # used to be eagerly re-exported here; the facade supersedes them as
 # the *top-level* spelling, so they now resolve lazily with a
-# DeprecationWarning.  The canonical imports (repro.engine.*) are
-# untouched and warning-free.
+# DeprecationWarning — emitted once per name per process (the shims
+# are a migration aid, not a log-spam generator).  The canonical
+# imports (repro.engine.*) are untouched and warning-free, and every
+# shimmed entry point answers through the prepared-query protocol
+# underneath (``QueryService.query`` is a shim over ``query_prepared``).
 _DEPRECATED_ENGINE_EXPORTS = (
     "EngineStats",
     "QueryService",
@@ -98,16 +103,20 @@ _DEPRECATED_ENGINE_EXPORTS = (
     "engine_names",
 )
 
+_WARNED_DEPRECATED: set = set()
+
 
 def __getattr__(name: str):
     if name in _DEPRECATED_ENGINE_EXPORTS:
-        warnings.warn(
-            f"importing {name!r} from the top-level 'repro' package is "
-            f"deprecated; use repro.engine.{name} directly, or drive "
-            "queries through repro.Session",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if name not in _WARNED_DEPRECATED:
+            _WARNED_DEPRECATED.add(name)
+            warnings.warn(
+                f"importing {name!r} from the top-level 'repro' package is "
+                f"deprecated; use repro.engine.{name} directly, or drive "
+                "queries through repro.Session",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         from repro import engine as _engine
 
         return getattr(_engine, name)
@@ -126,6 +135,7 @@ __all__ = [
     "DynamicRlcIndex",
     "EdgeLabeledDigraph",
     "EngineError",
+    "EngineOptionError",
     "EngineStats",
     "find_witness_path",
     "ExtendedQueryEvaluator",
@@ -145,7 +155,9 @@ __all__ = [
     "NfaBiBfs",
     "NfaDfs",
     "NonPrimitiveConstraintError",
+    "PreparedQuery",
     "QueryError",
+    "QueryOutcome",
     "ReproError",
     "RlcIndex",
     "RlcIndexBuilder",

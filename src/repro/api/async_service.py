@@ -71,11 +71,33 @@ class AsyncQueryService:
     # Serving
     # ------------------------------------------------------------------
 
+    async def prepare(self, labels: Sequence[int]):
+        """Await a prepared constraint (memoized like the sync ``prepare``)."""
+        return await self._dispatch(self._service.prepare, labels)
+
     async def query(
         self, source: int, target: int, labels: Sequence[int]
     ) -> bool:
         """Await one query (cached exactly like the sync ``query``)."""
         return await self._dispatch(self._service.query, source, target, labels)
+
+    async def query_outcome(
+        self,
+        source: int,
+        target: int,
+        labels: Sequence[int],
+        *,
+        witness: bool = False,
+    ):
+        """Await one query's :class:`~repro.engine.QueryOutcome`.
+
+        Identical provenance (cache layer, routing counters, witness)
+        to the sync ``query_outcome`` — one dispatch thread serializes
+        with every other call on this wrapper.
+        """
+        return await self._dispatch(
+            self._service.query_outcome, source, target, labels, witness=witness
+        )
 
     async def query_many(
         self, triples: Iterable[QueryTriple]

@@ -10,12 +10,19 @@ keeps everything and survives the process), so a second process
 replaying a workload against the same graph and spec answers entirely
 from disk (``report.hit_rate == 1.0``).
 
+Entries are keyed ``(source, target, constraint digest)`` — the stable
+:attr:`~repro.engine.base.PreparedQuery.digest` of the prepared
+constraint, not a raw label spelling — so every spelling of a
+constraint (lists, numpy ints) shares one entry and the on-disk format
+never depends on how a workload file happened to render its labels.
+
 Safety properties:
 
 - **Keyed by content.** The file name and an in-file header both carry
   the graph's :meth:`~repro.graph.digraph.EdgeLabeledDigraph.content_digest`
   and the engine spec; a cache written for another graph or another
   engine configuration is never served (it simply loads empty).
+  Format 1 files (pre-digest label keys) are likewise loaded empty.
 - **Corruption-tolerant.** A truncated, unparsable, or wrong-shape file
   is treated as an empty cache, not an error — the cache is a
   performance artifact, never a correctness dependency.
@@ -35,9 +42,11 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 __all__ = ["PersistentResultCache", "cache_file_name"]
 
 PathLike = Union[str, os.PathLike]
-CacheKey = Tuple[int, int, Tuple[int, ...]]
+#: ``(source, target, prepared-constraint digest)`` — mirrors
+#: :data:`repro.engine.service.CacheKey`.
+CacheKey = Tuple[int, int, str]
 
-_FORMAT = 1
+_FORMAT = 2
 
 
 def cache_file_name(graph_digest: str, engine_spec: str) -> str:
@@ -52,8 +61,8 @@ def cache_file_name(graph_digest: str, engine_spec: str) -> str:
 
 
 def _encode_key(key: CacheKey) -> str:
-    source, target, labels = key
-    return f"{source} {target} {','.join(str(label) for label in labels)}"
+    source, target, digest = key
+    return f"{source} {target} {digest}"
 
 
 def _decode_key(text: str) -> Optional[CacheKey]:
@@ -61,8 +70,7 @@ def _decode_key(text: str) -> Optional[CacheKey]:
     if len(parts) != 3:
         return None
     try:
-        labels = tuple(int(token) for token in parts[2].split(","))
-        return int(parts[0]), int(parts[1]), labels
+        return int(parts[0]), int(parts[1]), parts[2]
     except ValueError:
         return None
 

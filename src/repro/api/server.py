@@ -3,13 +3,23 @@
 The deployment model for a reachability index is build-once/query-many:
 one process owns the prepared engines and answers a stream of queries.
 :class:`ReplayServer` is that process, stdlib-only
-(:class:`http.server.ThreadingHTTPServer`), serving four endpoints:
+(:class:`http.server.ThreadingHTTPServer`), serving five endpoints:
 
-- ``GET /healthz`` — liveness plus graph/engine identity;
+- ``GET /healthz`` — liveness plus graph/engine identity (including
+  the default engine's capability flags);
 - ``GET /stats`` — per-spec service counters (cache hits, engine
-  timings, shard counts ...);
+  timings, shard counts, router memo hits ...);
+- ``POST /prepare`` — compile a constraint once: ``{"labels": [1, 0]}``
+  returns the prepared constraint's normalized labels, digest,
+  rotation set and the serving engine's capabilities; subsequent
+  ``/query`` calls under the same constraint hit the server-side
+  prepared memo;
 - ``POST /query`` — one query: ``{"source": 0, "target": 5, "labels":
-  [1, 0]}``; add ``"explain": true`` for the witness-path explanation;
+  [1, 0]}``; the response is the structured
+  :class:`~repro.engine.QueryOutcome` JSON (answer, engine id, cache
+  layer, routing counters, wall time).  Add ``"witness": true`` for a
+  witness path on a witness-ready engine, or ``"explain": true`` for
+  the fuller ``Session.explain`` document;
 - ``POST /batch`` — a workload replay: ``{"queries": [{"source": ...,
   "target": ..., "labels": [...], "expected": true}, ...]}``, answered
   through the batched/cached service path and reported with
@@ -49,20 +59,29 @@ class _BadRequest(ValueError):
     """Client-side defect in a request body (mapped to HTTP 400)."""
 
 
-def _require_query(payload: Dict) -> Tuple[int, int, Tuple[int, ...]]:
+def _require_labels(payload: Dict) -> Tuple[int, ...]:
+    """The shared 'labels' parsing of /query, /batch and /prepare bodies."""
     try:
         raw_labels = payload["labels"]
         if not isinstance(raw_labels, (list, tuple)):
             raise TypeError("labels must be a list")
+        labels = tuple(int(label) for label in raw_labels)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _BadRequest("'labels' must be a list of integers") from exc
+    if not labels:
+        raise _BadRequest("'labels' must be a non-empty list")
+    return labels
+
+
+def _require_query(payload: Dict) -> Tuple[int, int, Tuple[int, ...]]:
+    labels = _require_labels(payload)
+    try:
         source = int(payload["source"])
         target = int(payload["target"])
-        labels = tuple(int(label) for label in raw_labels)
     except (KeyError, TypeError, ValueError) as exc:
         raise _BadRequest(
             "a query needs integer 'source', 'target' and a 'labels' list"
         ) from exc
-    if not labels:
-        raise _BadRequest("'labels' must be a non-empty list")
     return source, target, labels
 
 
@@ -101,13 +120,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]
-        if path not in ("/query", "/batch"):
+        if path not in ("/query", "/batch", "/prepare"):
             self._respond(404, {"error": f"unknown path {path!r}"})
             return
         try:
             payload = self._read_json()
             if path == "/query":
                 body = self.server.handle_query(payload)
+            elif path == "/prepare":
+                body = self.server.handle_prepare(payload)
             else:
                 body = self.server.handle_batch(payload)
         except _BadRequest as exc:
@@ -180,6 +201,14 @@ class _SessionHTTPServer(ThreadingHTTPServer):
             "digest": session.graph_digest,
         }
         try:
+            from repro.engine.registry import engine_capabilities
+
+            body["capabilities"] = sorted(
+                engine_capabilities(session.default_engine_spec)
+            )
+        except ReproError:
+            pass  # exotic default specs stay healthy without the flags
+        try:
             graph = session.graph
         except ReproError:
             pass
@@ -202,16 +231,43 @@ class _SessionHTTPServer(ThreadingHTTPServer):
         spec = payload.get("engine")
         if spec is not None and not isinstance(spec, str):
             raise _BadRequest("'engine' must be a spec string")
+        witness = payload.get("witness")
+        if witness is not None and not isinstance(witness, bool):
+            raise _BadRequest("'witness' must be a boolean")
         with self._lock:
             if payload.get("explain"):
-                body = self.session.explain(source, target, labels, engine=spec)
+                # explain defaults to attaching a witness (its historical
+                # behaviour); an explicit "witness": false declines it.
+                body = self.session.explain(
+                    source,
+                    target,
+                    labels,
+                    engine=spec,
+                    witness=witness if witness is not None else True,
+                )
             else:
-                body = {
-                    "answer": self.session.query(
-                        source, target, labels, engine=spec
-                    ),
-                    "engine": spec or self.session.default_engine_spec,
-                }
+                outcome = self.session.query_outcome(
+                    source, target, labels, engine=spec, witness=bool(witness)
+                )
+                body = outcome.as_dict()
+                # 'engine' names the requested spec (what the caller can
+                # replay against); the engine's own id is 'engine_id'.
+                body["engine_id"] = body["engine"]
+                body["engine"] = spec or self.session.default_engine_spec
+        return body
+
+    def handle_prepare(self, payload: Dict) -> Dict:
+        labels = _require_labels(payload)
+        spec = payload.get("engine")
+        if spec is not None and not isinstance(spec, str):
+            raise _BadRequest("'engine' must be a spec string")
+        with self._lock:
+            prepared = self.session.prepare(labels, engine=spec)
+            engine = self.session.service(spec).engine
+            body = prepared.as_dict()
+            body["engine"] = spec or self.session.default_engine_spec
+            body["engine_id"] = engine.name
+            body["capabilities"] = sorted(engine.capabilities)
         return body
 
     def handle_batch(self, payload: Dict) -> Dict:

@@ -27,10 +27,9 @@ semantics.
 from __future__ import annotations
 
 import os
-import time
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
-from repro.engine.base import EngineBase
+from repro.engine.base import EngineBase, PreparedQuery, QueryOutcome
 from repro.engine.registry import create_engine
 from repro.engine.service import QueryService, ServiceReport
 from repro.errors import EngineError, GraphError
@@ -291,6 +290,45 @@ class Session:
     # Serving
     # ------------------------------------------------------------------
 
+    def prepare(
+        self,
+        labels: Sequence[int],
+        *,
+        engine: Optional[str] = None,
+        **engine_options,
+    ) -> PreparedQuery:
+        """Compile a constraint once for the spec's engine (memoized).
+
+        The session face of the prepared lifecycle: the returned
+        :class:`~repro.engine.PreparedQuery` is reusable across every
+        ``(source, target)`` pair, and its digest is the identity the
+        spec's caches (LRU and persistent store) key answers on.
+        """
+        return self.service(engine, **engine_options).prepare(labels)
+
+    def query_outcome(
+        self,
+        source: int,
+        target: int,
+        labels: Sequence[int],
+        *,
+        engine: Optional[str] = None,
+        witness: bool = False,
+        **engine_options,
+    ) -> QueryOutcome:
+        """Answer one query with full provenance (cache layered).
+
+        The structured face of :meth:`query`: the returned
+        :class:`~repro.engine.QueryOutcome` carries the answer, the
+        engine id, the cache layer that served it (None on a fresh
+        evaluation), routing counters from composite engines, wall
+        time, and — with ``witness=True`` on a witness-capable engine —
+        a concrete witness path.
+        """
+        return self.service(engine, **engine_options).query_outcome(
+            source, target, labels, witness=witness
+        )
+
     def query(
         self,
         source: int,
@@ -300,10 +338,14 @@ class Session:
         engine: Optional[str] = None,
         **engine_options,
     ) -> bool:
-        """Answer one query through the spec's service (cache layered)."""
-        return self.service(engine, **engine_options).query(
-            source, target, labels
-        )
+        """Answer one query through the spec's service (cache layered).
+
+        Bool shim over :meth:`query_outcome`, kept for callers that
+        only want the answer.
+        """
+        return self.query_outcome(
+            source, target, labels, engine=engine, **engine_options
+        ).answer
 
     def run(
         self,
@@ -342,34 +384,45 @@ class Session:
         """Answer a query and describe *how* it was answered.
 
         Returns a plain dict (JSON-ready; the replay server exposes it
-        verbatim): the answer, the engine spec that produced it, whether
-        it came from cache, wall time, and — for true answers over a
-        session that owns its graph — a shortest witness path.
+        verbatim) built from the :class:`~repro.engine.QueryOutcome`:
+        the answer, the engine spec and engine id that produced it,
+        the cache layer that served it (``cached`` stays the coarse
+        boolean), routing counters, the prepared constraint's digest,
+        wall time, and — for true answers on a witness-ready engine —
+        a shortest witness path.
         """
         spec = engine or self._default_spec
         service = self.service(spec, **engine_options)
-        key = (int(source), int(target), tuple(int(label) for label in labels))
-        cached = service.peek(*key) is not None
-        started = time.perf_counter()
-        answer = service.query(source, target, labels)
-        seconds = time.perf_counter() - started
+        engine_obj = service.engine
+        want_witness = bool(witness) and getattr(engine_obj, "witness_ready", False)
+        outcome = service.query_outcome(
+            source, target, labels, witness=want_witness
+        )
         explanation: Dict[str, object] = {
-            "query": {"source": key[0], "target": key[1], "labels": list(key[2])},
+            "query": {
+                "source": outcome.source,
+                "target": outcome.target,
+                "labels": list(outcome.labels),
+            },
             "engine": spec,
-            "answer": answer,
-            "cached": cached,
-            "seconds": seconds,
+            "engine_id": outcome.engine,
+            "answer": outcome.answer,
+            "cached": outcome.cached,
+            "cache_layer": outcome.cache_layer,
+            "seconds": outcome.seconds,
         }
-        if witness and answer and self._graph is not None:
-            from repro.core import find_witness_path
-
-            found = find_witness_path(self._graph, key[0], key[1], key[2])
-            if found is not None:
-                vertices, path_labels = found
-                explanation["witness"] = {
-                    "vertices": list(vertices),
-                    "labels": list(path_labels),
-                }
+        try:
+            explanation["constraint_digest"] = service.prepare(labels).digest
+        except EngineError:
+            pass  # engines outside the prepared protocol have no digest
+        if outcome.routing:
+            explanation["routing"] = dict(outcome.routing)
+        if outcome.witness is not None:
+            vertices, path_labels = outcome.witness
+            explanation["witness"] = {
+                "vertices": list(vertices),
+                "labels": list(path_labels),
+            }
         return explanation
 
     # ------------------------------------------------------------------

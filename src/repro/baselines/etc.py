@@ -181,6 +181,20 @@ class ExtendedTransitiveClosure:
         entry = self._closure.get((source, target))
         return entry is not None and label_tuple in entry
 
+    def query_mr(self, source: int, target: int, mr: Tuple[int, ...]) -> bool:
+        """Hash probe for an **already-validated** minimum repeat.
+
+        The evaluation unit behind the prepared-query path
+        (:meth:`repro.engine.EtcEngine.query_prepared`): callers pay
+        constraint validation once (through
+        :func:`repro.queries.validate_rlc_query` or a
+        :class:`~repro.engine.PreparedQuery`) and this probe is then a
+        single dict lookup plus a set membership test per endpoint
+        pair.
+        """
+        entry = self._closure.get((source, target))
+        return entry is not None and mr in entry
+
     def query_batch(self, queries) -> List[bool]:
         """Batched lookups: validate each distinct constraint once.
 

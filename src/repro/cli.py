@@ -9,8 +9,10 @@ Commands:
 - ``workload GRAPH -k K -o FILE`` — generate a verified query workload;
 - ``run INDEX WORKLOAD`` — replay a workload through a saved index
   (batched + cached via the query service; ``--workers N`` executes
-  batches concurrently);
-- ``engines`` — list the engines in the registry and the spec grammar;
+  batches concurrently; ``--json`` emits the structured report and
+  ``--witness --graph GRAPH`` attaches witness paths to true answers);
+- ``engines`` — list the engines in the registry, their capability
+  flags, and the spec grammar;
 - ``bench GRAPH WORKLOAD --engine SPEC`` — run a workload through any
   registered engine spec built over a graph file (bare names like
   ``bibfs`` or parameterized specs like ``sharded:rlc?parts=4``);
@@ -39,6 +41,7 @@ from repro.core.index import RlcIndex
 from repro.engine import (
     RlcIndexEngine,
     available_engines,
+    engine_capabilities,
     filter_engine_options,
 )
 from repro.errors import ReproError
@@ -132,6 +135,13 @@ def _cmd_workload(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.witness and not args.graph:
+        print(
+            "error: --witness needs --graph GRAPH (a saved index carries no "
+            "edges to extract witness paths from)",
+            file=sys.stderr,
+        )
+        return 2
     index = RlcIndex.load(args.index)
     session = Session.from_prepared(
         RlcIndexEngine.from_index(index),
@@ -141,8 +151,62 @@ def _cmd_run(args) -> int:
         cache_size=args.cache_size,
         workers=args.workers,
     )
-    report = session.run(args.workload)
+    queries = list(load_workload(args.workload))
+    report = session.run(queries)
     wrong = len(report.mismatches)
+    witnesses: Optional[List[Optional[dict]]] = None
+    if args.witness:
+        graph = load_graph(args.graph)
+        # The index carries no edges, so witnesses come from --graph —
+        # which must actually be the graph the index was built from, or
+        # the extracted "witnesses" would be paths of an unrelated graph.
+        if (
+            graph.num_vertices != index.num_vertices
+            or graph.num_labels != index.num_labels
+        ):
+            print(
+                f"error: --graph {args.graph!r} has {graph.num_vertices} "
+                f"vertices / {graph.num_labels} labels but the index was "
+                f"built over {index.num_vertices} vertices / "
+                f"{index.num_labels} labels — witness paths would be "
+                "extracted from the wrong graph",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core import find_witness_path
+
+        witnesses = []
+        for query, answer in zip(queries, report.answers):
+            found = (
+                find_witness_path(graph, query.source, query.target, query.labels)
+                if answer
+                else None
+            )
+            witnesses.append(
+                {"vertices": list(found[0]), "labels": list(found[1])}
+                if found is not None
+                else None
+            )
+    if args.json:
+        import json
+
+        payload = {
+            "engine": report.engine_name,
+            "total": report.total,
+            "seconds": report.seconds,
+            "queries_per_second": report.queries_per_second,
+            "batches": report.batches,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "hit_rate": report.hit_rate,
+            "ok": report.ok,
+            "mismatches": wrong,
+            "answers": [bool(answer) for answer in report.answers],
+        }
+        if witnesses is not None:
+            payload["witnesses"] = witnesses
+        print(json.dumps(payload))
+        return 0 if wrong == 0 else 1
     print(
         f"{report.total} queries in {report.seconds * 1e3:.2f} ms "
         f"({report.seconds / max(report.total, 1) * 1e6:.1f} us/query), "
@@ -152,6 +216,9 @@ def _cmd_run(args) -> int:
         f"service: {report.batches} batches of <= {args.batch_size}, "
         f"cache hit rate {report.hit_rate:.0%}"
     )
+    if witnesses is not None:
+        found = sum(1 for witness in witnesses if witness is not None)
+        print(f"witnesses: {found} paths extracted for true answers")
     return 0 if wrong == 0 else 1
 
 
@@ -159,11 +226,24 @@ def _cmd_engines(args) -> int:
     rows = available_engines()
     width = max(len(key) for key, _, _ in rows)
     label_width = max(len(label) for _, label, _ in rows)
+    capability_rows = {
+        key: ",".join(sorted(engine_capabilities(key))) or "-"
+        for key, _, _ in rows
+    }
+    capability_width = max(len(text) for text in capability_rows.values())
     for key, label, description in rows:
-        print(f"{key.ljust(width)}  {label.ljust(label_width)}  {description}")
+        capabilities = capability_rows[key].ljust(capability_width)
+        print(
+            f"{key.ljust(width)}  {label.ljust(label_width)}  "
+            f"{capabilities}  {description}"
+        )
     print()
     print("spec grammar: name[:inner][?key=value&...], alias rlc -> rlc-index")
     print("e.g. sharded:rlc?parts=4 (four WCC-merged shards, RLC index each)")
+    print(
+        "capabilities column: select engines by feature with "
+        "repro.engine.engines_with_capabilities(...)"
+    )
     return 0
 
 
@@ -281,6 +361,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--workers", type=int, default=1,
         help="thread-pool width for batch execution (default 1 = serial)",
+    )
+    run.add_argument(
+        "--graph", default=None,
+        help="graph file backing the index (required by --witness)",
+    )
+    run.add_argument(
+        "--witness", action="store_true",
+        help="extract a witness path for every true answer (needs --graph)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the structured report (answers, counters, witnesses) as JSON",
     )
     run.set_defaults(handler=_cmd_run)
 

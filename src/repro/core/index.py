@@ -213,25 +213,13 @@ class RlcIndex:
             in_cache: Dict[int, Sequence[int]] = {}
             for position in positions:
                 query = queries[position]
-                source, target = query.source, query.target
-                if not 0 <= source < self._num_vertices:
-                    raise QueryError(f"unknown source vertex: {source}")
-                if not 0 <= target < self._num_vertices:
-                    raise QueryError(f"unknown target vertex: {target}")
-                hubs_out = out_cache.get(source)
-                if hubs_out is None:
-                    hubs_out = self.out_hubs(source, mr)
-                    out_cache[source] = hubs_out
-                hubs_in = in_cache.get(target)
-                if hubs_in is None:
-                    hubs_in = self.in_hubs(target, mr)
-                    in_cache[target] = hubs_in
-                if hubs_out and _binary_contains(hubs_out, self._aid[target]):
-                    answers[position] = True
-                elif hubs_in and _binary_contains(hubs_in, self._aid[source]):
-                    answers[position] = True
-                elif hubs_out and hubs_in:
-                    answers[position] = _sorted_intersect(hubs_out, hubs_in)
+                answers[position] = self.query_mr(
+                    query.source,
+                    query.target,
+                    mr,
+                    out_cache=out_cache,
+                    in_cache=in_cache,
+                )
         return answers
 
     def _query_merge_join(self, source: int, target: int, mr: Mr) -> bool:
@@ -274,9 +262,20 @@ class RlcIndex:
                     j += 1
         return False
 
-    def _query_hub_lookup(self, source: int, target: int, mr: Mr) -> bool:
-        hubs_out = self.out_hubs(source, mr)
-        hubs_in = self.in_hubs(target, mr)
+    def _probe_hubs(
+        self,
+        source: int,
+        target: int,
+        hubs_out: Sequence[int],
+        hubs_in: Sequence[int],
+    ) -> bool:
+        """The shared 3-way hub probe (Definition 4's cases over hub lists).
+
+        Case 2 both ways (is the opposite endpoint itself a recorded
+        hub?), then Case 1 as a sorted-list intersection.  The single
+        home of this sequence — the point lookup, the prepared path
+        and the batched path all funnel through it.
+        """
         if hubs_out and _binary_contains(hubs_out, self._aid[target]):
             return True
         if hubs_in and _binary_contains(hubs_in, self._aid[source]):
@@ -284,6 +283,53 @@ class RlcIndex:
         if not hubs_out or not hubs_in:
             return False
         return _sorted_intersect(hubs_out, hubs_in)
+
+    def _query_hub_lookup(self, source: int, target: int, mr: Mr) -> bool:
+        return self._probe_hubs(
+            source, target, self.out_hubs(source, mr), self.in_hubs(target, mr)
+        )
+
+    def query_mr(
+        self,
+        source: int,
+        target: int,
+        mr: Mr,
+        *,
+        out_cache: Optional[Dict[int, Sequence[int]]] = None,
+        in_cache: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> bool:
+        """Point query for an **already-validated** primitive constraint.
+
+        The evaluation behind the prepared-query path
+        (:meth:`repro.engine.RlcIndexEngine.query_prepared`) and the
+        per-group unit of :meth:`query_batch`: endpoints are
+        bounds-checked here (cheap), but ``mr`` must already be the
+        validated minimum repeat — callers amortize that through
+        :func:`repro.queries.validate_rlc_query` or a
+        :class:`~repro.engine.PreparedQuery`.  ``out_cache`` /
+        ``in_cache``, when given, memoize per-vertex hub lists across
+        calls sharing the constraint (what makes repeated endpoints
+        under one prepared constraint nearly free).
+        """
+        if not 0 <= source < self._num_vertices:
+            raise QueryError(f"unknown source vertex: {source}")
+        if not 0 <= target < self._num_vertices:
+            raise QueryError(f"unknown target vertex: {target}")
+        if out_cache is not None:
+            hubs_out = out_cache.get(source)
+            if hubs_out is None:
+                hubs_out = self.out_hubs(source, mr)
+                out_cache[source] = hubs_out
+        else:
+            hubs_out = self.out_hubs(source, mr)
+        if in_cache is not None:
+            hubs_in = in_cache.get(target)
+            if hubs_in is None:
+                hubs_in = self.in_hubs(target, mr)
+                in_cache[target] = hubs_in
+        else:
+            hubs_in = self.in_hubs(target, mr)
+        return self._probe_hubs(source, target, hubs_out, hubs_in)
 
     # ------------------------------------------------------------------
     # Entry inspection

@@ -24,13 +24,23 @@ optionally concurrent :class:`QueryService`::
 - :mod:`repro.engine.service` — batched, cached, verified serving.
 """
 
-from repro.engine.base import EngineBase, EngineStats, ReachabilityEngine
+from repro.engine.base import (
+    KNOWN_CAPABILITIES,
+    EngineBase,
+    EngineStats,
+    PreparedQuery,
+    QueryOutcome,
+    ReachabilityEngine,
+)
 from repro.engine.registry import (
     available_engines,
     create_engine,
+    engine_capabilities,
     engine_names,
+    engines_with_capabilities,
     filter_engine_options,
     get_engine_class,
+    instantiate_engine,
     parse_engine_spec,
     register,
     register_alias,
@@ -52,6 +62,7 @@ from repro.engine.routing import BoundaryRouter
 from repro.engine.service import QueryService, ServiceReport
 
 __all__ = [
+    "KNOWN_CAPABILITIES",
     "BfsEngine",
     "BiBfsEngine",
     "BoundaryRouter",
@@ -59,6 +70,8 @@ __all__ = [
     "EngineBase",
     "EngineStats",
     "EtcEngine",
+    "PreparedQuery",
+    "QueryOutcome",
     "QueryService",
     "ReachabilityEngine",
     "RlcIndexEngine",
@@ -69,9 +82,12 @@ __all__ = [
     "VirtuosoSimEngine",
     "available_engines",
     "create_engine",
+    "engine_capabilities",
     "engine_names",
+    "engines_with_capabilities",
     "filter_engine_options",
     "get_engine_class",
+    "instantiate_engine",
     "parse_engine_spec",
     "register",
     "register_alias",

@@ -16,19 +16,32 @@ registry key    table label    backend
 ``virtuoso-sim``  VirtuosoSim  :class:`repro.bench.engines.VirtuosoSimEngine`
 ==============  =============  ==============================================
 
-Every non-simulated adapter has a genuinely batched ``query_batch``:
+Every adapter answers through the **prepared-query lifecycle**
+(:meth:`~repro.engine.base.EngineBase.prepare_query` /
+:meth:`~repro.engine.base.EngineBase.query_prepared`), each with a
+validation-free evaluation hook: the RLC index probes its per-``MR``
+hub lists (memoized per prepared constraint), the traversal baselines
+run their product search on the prepared constraint automaton instead
+of recompiling it, and ETC's probe is a bare hash lookup.  The three
+simulated Table V systems keep the revalidating fallback — per-query
+overhead is part of what they simulate.
+
+Every non-simulated adapter also has a genuinely batched
+``query_batch`` (capability ``batch-grouped``):
 :class:`RlcIndexEngine` groups queries by constraint, validates each
 distinct constraint once, and reuses the index's per-``MR`` hub lists
-across queries sharing an ``MR`` (the measured win over query-at-a-time
-execution is pinned by ``benchmarks/bench_micro_operations.py``); the
-traversal baselines (BFS/DFS/BiBFS) and ETC apply the same grouping —
-one constraint validation and one compiled NFA (resp. one validated
-lookup key) per distinct constraint, via
+across queries sharing an ``MR`` (the measured win over
+query-at-a-time execution is pinned by
+``benchmarks/bench_micro_operations.py``); the traversal baselines
+(BFS/DFS/BiBFS) and ETC apply the same grouping — one constraint
+validation and one compiled NFA (resp. one validated lookup key) per
+distinct constraint, via
 :func:`repro.baselines.batch.batched_product_queries` and
-:meth:`ExtendedTransitiveClosure.query_batch`.  The three simulated
-Table V systems keep the loop fallback from
-:class:`~repro.engine.base.EngineBase` — batching is not part of what
-they simulate.
+:meth:`ExtendedTransitiveClosure.query_batch`.  All eight advertise
+``witness`` — witness extraction is a product BFS over the bound
+graph, engine-independent — but an engine adopted around a loaded
+index (``RlcIndexEngine.from_index``) has no graph to walk, which
+:attr:`~repro.engine.base.EngineBase.witness_ready` reports.
 """
 
 from __future__ import annotations
@@ -41,12 +54,19 @@ from repro.baselines import (
     NfaBiBfs,
     NfaDfs,
 )
+from repro.baselines.bfs import evaluate_nfa_bfs
+from repro.baselines.bibfs import evaluate_nfa_bibfs
+from repro.baselines.dfs import evaluate_nfa_dfs
 from repro.core import build_rlc_index
 from repro.core.index import RlcIndex
-from repro.engine.base import EngineBase
+from repro.engine.base import EngineBase, PreparedQuery
 from repro.engine.registry import register
 from repro.graph.digraph import EdgeLabeledDigraph
 from repro.queries import RlcQuery
+
+#: Per-constraint hub-list memos are cleared past this many vertices
+#: (mirrors the boundary router's ``_CACHE_LIMIT`` policy).
+_HUB_MEMO_LIMIT = 1 << 16
 
 __all__ = [
     "BfsEngine",
@@ -66,6 +86,7 @@ class RlcIndexEngine(EngineBase):
 
     name = "rlc-index"
     display_name = "RLC"
+    capabilities = frozenset({"witness", "batch-grouped"})
 
     def __init__(
         self,
@@ -116,6 +137,37 @@ class RlcIndexEngine(EngineBase):
     def _answer(self, index: RlcIndex, source, target, labels) -> bool:
         return index.query(source, target, labels)
 
+    def _compile_prepared(self, prepared: PreparedQuery) -> None:
+        """Seed the per-constraint hub-list memo this adapter fills."""
+        self.prepared_state_for(prepared).setdefault("hubs", ({}, {}))
+
+    def _answer_prepared(
+        self, index: RlcIndex, source, target, prepared: PreparedQuery
+    ) -> bool:
+        """Validated hub probe with per-constraint hub-list memoization.
+
+        The same evaluation unit as one :meth:`RlcIndex.query_batch`
+        group: this engine's private state for the prepared constraint
+        carries the per-vertex hub-list caches, so repeated endpoints
+        under one constraint cost two dict probes plus a binary
+        search.  The memo is bounded: past ``_HUB_MEMO_LIMIT`` entries
+        a cache is cleared wholesale, the same crude-but-bounded
+        policy the boundary router uses.
+        """
+        state = self.prepared_state_for(prepared)
+        caches = state.get("hubs")
+        if caches is None:
+            caches = ({}, {})
+            state["hubs"] = caches
+        out_cache, in_cache = caches
+        if len(out_cache) >= _HUB_MEMO_LIMIT:
+            out_cache.clear()
+        if len(in_cache) >= _HUB_MEMO_LIMIT:
+            in_cache.clear()
+        return index.query_mr(
+            source, target, prepared.labels, out_cache=out_cache, in_cache=in_cache
+        )
+
     def _answer_batch(self, index: RlcIndex, queries: List[RlcQuery]) -> List[bool]:
         """The real batched path: :meth:`RlcIndex.query_batch`.
 
@@ -127,58 +179,67 @@ class RlcIndexEngine(EngineBase):
         return index.query_batch(queries)
 
 
+class _TraversalEngineAdapter(EngineBase):
+    """Base for the online traversal baselines (BFS / DFS / BiBFS).
+
+    Each binds an evaluator function ``(graph, source, target, nfa) ->
+    bool``; the prepared path reuses the
+    :attr:`~repro.engine.base.PreparedQuery.nfa` compiled once at
+    prepare time instead of rebuilding the constraint automaton per
+    query.
+    """
+
+    capabilities = frozenset({"witness", "batch-grouped"})
+    _evaluator = None
+
+    def _answer(self, backend, source, target, labels) -> bool:
+        return backend.query(source, target, labels)
+
+    def _answer_prepared(
+        self, backend, source, target, prepared: PreparedQuery
+    ) -> bool:
+        """Product search on the prepared constraint automaton."""
+        return type(self)._evaluator(self.graph, source, target, prepared.nfa)
+
+    def _answer_batch(self, backend, queries: List[RlcQuery]) -> List[bool]:
+        """Grouped batched path: one NFA per distinct constraint."""
+        return backend.query_batch(queries)
+
+
 @register
-class BfsEngine(EngineBase):
+class BfsEngine(_TraversalEngineAdapter):
     """Online NFA-guided breadth-first traversal (Section III-B)."""
 
     name = "bfs"
     display_name = "BFS"
+    _evaluator = staticmethod(evaluate_nfa_bfs)
 
     def _prepare(self, graph: EdgeLabeledDigraph) -> NfaBfs:
         return NfaBfs(graph)
 
-    def _answer(self, backend: NfaBfs, source, target, labels) -> bool:
-        return backend.query(source, target, labels)
-
-    def _answer_batch(self, backend: NfaBfs, queries: List[RlcQuery]) -> List[bool]:
-        """Grouped batched path: one NFA per distinct constraint."""
-        return backend.query_batch(queries)
-
 
 @register
-class BiBfsEngine(EngineBase):
+class BiBfsEngine(_TraversalEngineAdapter):
     """Bidirectional product BFS, the strongest online baseline."""
 
     name = "bibfs"
     display_name = "BiBFS"
+    _evaluator = staticmethod(evaluate_nfa_bibfs)
 
     def _prepare(self, graph: EdgeLabeledDigraph) -> NfaBiBfs:
         return NfaBiBfs(graph)
 
-    def _answer(self, backend: NfaBiBfs, source, target, labels) -> bool:
-        return backend.query(source, target, labels)
-
-    def _answer_batch(self, backend: NfaBiBfs, queries: List[RlcQuery]) -> List[bool]:
-        """Grouped batched path: one NFA per distinct constraint."""
-        return backend.query_batch(queries)
-
 
 @register
-class DfsEngine(EngineBase):
+class DfsEngine(_TraversalEngineAdapter):
     """Depth-first variant of the online traversal baseline."""
 
     name = "dfs"
     display_name = "DFS"
+    _evaluator = staticmethod(evaluate_nfa_dfs)
 
     def _prepare(self, graph: EdgeLabeledDigraph) -> NfaDfs:
         return NfaDfs(graph)
-
-    def _answer(self, backend: NfaDfs, source, target, labels) -> bool:
-        return backend.query(source, target, labels)
-
-    def _answer_batch(self, backend: NfaDfs, queries: List[RlcQuery]) -> List[bool]:
-        """Grouped batched path: one NFA per distinct constraint."""
-        return backend.query_batch(queries)
 
 
 @register
@@ -187,6 +248,7 @@ class EtcEngine(EngineBase):
 
     name = "etc"
     display_name = "ETC"
+    capabilities = frozenset({"witness", "batch-grouped"})
 
     def __init__(
         self,
@@ -215,6 +277,16 @@ class EtcEngine(EngineBase):
     def _answer(self, backend: ExtendedTransitiveClosure, source, target, labels) -> bool:
         return backend.query(source, target, labels)
 
+    def _answer_prepared(
+        self,
+        backend: ExtendedTransitiveClosure,
+        source,
+        target,
+        prepared: PreparedQuery,
+    ) -> bool:
+        """Validated closure probe: one hash lookup, no re-validation."""
+        return backend.query_mr(source, target, prepared.labels)
+
     def _answer_batch(
         self, backend: ExtendedTransitiveClosure, queries: List[RlcQuery]
     ) -> List[bool]:
@@ -223,7 +295,15 @@ class EtcEngine(EngineBase):
 
 
 class _SimulatedEngineAdapter(EngineBase):
-    """Base for the Table V simulated mainstream systems."""
+    """Base for the Table V simulated mainstream systems.
+
+    These keep the revalidating fallback on the prepared path too —
+    their per-query fixed costs are part of the system behaviour they
+    simulate — so they advertise ``witness`` (extraction is
+    graph-level) but not ``batch-grouped``.
+    """
+
+    capabilities = frozenset({"witness"})
 
     def _answer(self, backend, source, target, labels) -> bool:
         return backend.query(source, target, labels)
@@ -256,7 +336,7 @@ class Sys2Engine(_SimulatedEngineAdapter):
 
 
 @register
-class VirtuosoSimEngine(EngineBase):
+class VirtuosoSimEngine(_SimulatedEngineAdapter):
     """Simulated SPARQL-style transitive evaluation (Table V's Virtuoso)."""
 
     name = "virtuoso-sim"
@@ -266,6 +346,3 @@ class VirtuosoSimEngine(EngineBase):
         from repro.bench.engines import VirtuosoSimEngine as _Backend
 
         return _Backend(graph)
-
-    def _answer(self, backend, source, target, labels) -> bool:
-        return backend.query(source, target, labels)

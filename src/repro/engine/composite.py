@@ -36,13 +36,23 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.base import EngineBase, EngineStats
-from repro.engine.registry import register, register_alias, resolve_engine_spec
+from repro.engine.base import (
+    EngineBase,
+    EngineStats,
+    PreparedQuery,
+    constraint_rotations,
+)
+from repro.engine.registry import (
+    construct_engine,
+    register,
+    register_alias,
+    resolve_engine_spec,
+)
 from repro.engine.routing import BoundaryRouter
 from repro.errors import EngineError
 from repro.graph.digraph import EdgeLabeledDigraph
 from repro.graph.partition import GraphPartition, partition_graph
-from repro.queries import RlcQuery, group_queries_by_constraint, validate_rlc_query
+from repro.queries import RlcQuery, group_queries_by_constraint
 
 __all__ = ["ShardedEngine"]
 
@@ -57,6 +67,7 @@ class _ShardedBackend:
         "cross_shard_queries",
         "routed_queries",
         "boundary_hops",
+        "router_memo_hits",
     )
 
     def __init__(
@@ -71,6 +82,7 @@ class _ShardedBackend:
         self.cross_shard_queries = 0
         self.routed_queries = 0
         self.boundary_hops = 0
+        self.router_memo_hits = 0
 
     @property
     def capability_k(self):
@@ -118,6 +130,7 @@ class ShardedEngine(EngineBase):
 
     name = "sharded"
     display_name = "Sharded"
+    capabilities = frozenset({"witness", "batch-grouped", "sharded"})
 
     def __init__(
         self,
@@ -192,7 +205,13 @@ class ShardedEngine(EngineBase):
                 "e.g. 'sharded:sharded:bfs'"
             )
         def build(shard) -> EngineBase:
-            return inner_cls(**inner_options).prepare(shard.subgraph)
+            engine = construct_engine(
+                inner_cls,
+                inner_options,
+                f"inner engine spec {self._inner_spec!r} of sharded engine",
+            )
+            engine.prepare(shard.subgraph)
+            return engine
 
         workers = min(self._build_workers, len(partition.shards))
         if workers > 1:
@@ -210,35 +229,59 @@ class ShardedEngine(EngineBase):
     # Queries
     # ------------------------------------------------------------------
 
-    def _answer(
-        self, backend: _ShardedBackend, source: int, target: int, labels
-    ) -> bool:
-        # Validate against the *global* graph first so malformed queries
-        # raise exactly as the flat inner engine would, whatever shard
-        # (or pair of shards) the endpoints land in.
-        label_tuple = validate_rlc_query(
-            self.graph, source, target, labels, k=backend.capability_k
-        )
+    # No _answer override: the legacy bool ``query`` is a shim over
+    # ``query_prepared`` (EngineBase), so every point query routes
+    # through ``_answer_prepared`` below — one home for the routing
+    # and counter logic.
+
+    def _answer_prepared(
+        self, backend: _ShardedBackend, source: int, target: int,
+        prepared: PreparedQuery,
+    ):
+        """Route an already-validated constraint, reporting counters.
+
+        The prepared path skips the global re-validation the legacy
+        ``_answer`` pays: endpoints were checked by ``query_prepared``
+        and the constraint at ``prepare_query``.  Over an edge-cut
+        partition the boundary router is seeded straight from the
+        prepared rotation set; over a lossless partition a same-shard
+        query re-uses a per-shard prepared constraint stashed in this
+        engine's per-constraint state, so the inner engine skips
+        validation too.
+        """
         partition = backend.partition
         source_shard = partition.shard_id(source)
         cross = source_shard != partition.shard_id(target)
         if backend.router is not None:
-            answer, hops, used_bfs = backend.router.route(
-                source, target, label_tuple
+            answer, hops, used_bfs, memo_hits = backend.router.route_prepared(
+                source, target, prepared
             )
             with self._stats_lock:
                 backend.cross_shard_queries += 1 if cross else 0
                 backend.routed_queries += 1 if used_bfs else 0
                 backend.boundary_hops += hops
-            return answer
+                backend.router_memo_hits += memo_hits
+            return answer, {
+                "cross_shard": int(cross),
+                "routed": int(used_bfs),
+                "boundary_hops": hops,
+                "memo_hits": memo_hits,
+            }
         if cross:
             with self._stats_lock:
                 backend.cross_shard_queries += 1
-            return False
+            return False, {"cross_shard": 1}
         shard = partition.shards[source_shard]
-        return backend.engines[source_shard].query(
-            RlcQuery(shard.to_local(source), shard.to_local(target), label_tuple)
+        inner = backend.engines[source_shard]
+        state = self.prepared_state_for(prepared)
+        inner_prepared = state.get(source_shard)
+        if inner_prepared is None:
+            inner_prepared = inner.prepare_query(prepared.labels)
+            state[source_shard] = inner_prepared
+        outcome = inner.query_prepared(
+            inner_prepared, shard.to_local(source), shard.to_local(target)
         )
+        return outcome.answer, {"cross_shard": 0, "shard": source_shard}
 
     def _answer_batch(
         self, backend: _ShardedBackend, queries: List[RlcQuery]
@@ -310,19 +353,30 @@ class ShardedEngine(EngineBase):
                         # shard; the seeded memo makes route() skip
                         # straight to the product BFS.
                         needs_routing.append((position, constraint_of[position]))
+        memo_hits = 0
+        # One compiled rotation set per distinct constraint (shared
+        # derivation: repro.engine.base.constraint_rotations), not
+        # re-sliced per routed query.
+        rotations_of: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = {}
         for position, label_tuple in needs_routing:
             query = queries[position]
-            answer, query_hops, used_bfs = router.route(
-                query.source, query.target, label_tuple
+            rotations = rotations_of.get(label_tuple)
+            if rotations is None:
+                rotations = constraint_rotations(label_tuple)
+                rotations_of[label_tuple] = rotations
+            answer, query_hops, used_bfs, query_memo_hits = router.route(
+                query.source, query.target, label_tuple, rotations=rotations
             )
             answers[position] = answer
             routed += 1 if used_bfs else 0
             hops += query_hops
-        if cross_shard or routed or hops:
+            memo_hits += query_memo_hits
+        if cross_shard or routed or hops or memo_hits:
             with self._stats_lock:
                 backend.cross_shard_queries += cross_shard
                 backend.routed_queries += routed
                 backend.boundary_hops += hops
+                backend.router_memo_hits += memo_hits
         return answers
 
     # ------------------------------------------------------------------
@@ -334,10 +388,14 @@ class ShardedEngine(EngineBase):
 
         ``cross_shard_queries`` counts queries whose endpoints live in
         different shards; ``routed_queries`` / ``boundary_hops`` count
-        boundary-router product-BFS runs and the cut-edge traversals
-        they explored (always 0 over a lossless partition).  These flow
-        into :meth:`QueryService.counters` and ``Session.stats`` with
-        an ``engine_`` prefix.
+        boundary-router product-search runs and the cut-edge traversals
+        they explored fresh (always 0 over a lossless partition);
+        ``router_memo_hits`` counts hub product states served from the
+        router's per-constraint closure memo instead of being re-walked
+        — on a repeated-constraint workload it grows while
+        ``boundary_hops`` stops.  These flow into
+        :meth:`QueryService.counters` and ``Session.stats`` with an
+        ``engine_`` prefix.
         """
         stats = self._stats
         backend = self._backend
@@ -352,6 +410,7 @@ class ShardedEngine(EngineBase):
                     "cross_shard_queries": float(backend.cross_shard_queries),
                     "routed_queries": float(backend.routed_queries),
                     "boundary_hops": float(backend.boundary_hops),
+                    "router_memo_hits": float(backend.router_memo_hits),
                     "inner_prepare_seconds": sum(s.prepare_seconds for s in inner),
                     "inner_queries": float(
                         sum(s.queries + s.batched_queries for s in inner)

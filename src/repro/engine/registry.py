@@ -35,18 +35,22 @@ can add its own with :func:`register`.
 from __future__ import annotations
 
 import inspect
-from typing import Dict, List, Tuple, Type
+from typing import Dict, FrozenSet, List, Tuple, Type
 
-from repro.errors import EngineError
+from repro.errors import EngineError, EngineOptionError
 from repro.graph.digraph import EdgeLabeledDigraph
 from repro.engine.base import EngineBase
 
 __all__ = [
     "available_engines",
+    "construct_engine",
     "create_engine",
+    "engine_capabilities",
     "engine_names",
+    "engines_with_capabilities",
     "filter_engine_options",
     "get_engine_class",
+    "instantiate_engine",
     "parse_engine_spec",
     "register",
     "register_alias",
@@ -219,21 +223,93 @@ def filter_engine_options(spec: str, offered: Dict) -> Dict:
     }
 
 
+def construct_engine(
+    cls: Type[EngineBase], options: Dict[str, object], spec_description: str
+) -> EngineBase:
+    """Call an engine constructor, naming the spec on a bad keyword.
+
+    The one home of the ``TypeError`` -> :class:`EngineOptionError`
+    translation: a constructor keyword the class does not accept is
+    re-raised with ``spec_description`` (``'bibfs?bogus=1'``, ``inner
+    engine spec 'bfs' of sharded engine``, ...) in the message, so a
+    bad spec is identifiable in a service log without a traceback.
+    Used by :func:`instantiate_engine` and the sharded composite's
+    per-shard builds.
+    """
+    try:
+        return cls(**options)
+    except TypeError as exc:
+        raise EngineOptionError(
+            f"{spec_description} with options "
+            f"{sorted(options)} does not fit {cls.__name__}: {exc}"
+        ) from exc
+
+
+def instantiate_engine(spec: str, **options) -> EngineBase:
+    """Construct (without preparing) the engine a spec names.
+
+    A constructor keyword the engine chain does not accept raises
+    :class:`~repro.errors.EngineOptionError` — still a ``TypeError``,
+    but the message names the offending spec string instead of a bare
+    ``__init__`` signature complaint.
+    """
+    cls, merged = resolve_engine_spec(spec, **options)
+    return construct_engine(cls, merged, f"engine spec {spec!r}")
+
+
 def create_engine(name: str, graph: EdgeLabeledDigraph, **options) -> EngineBase:
     """Construct and prepare the engine named by a key, alias, or spec.
 
     ``options`` are forwarded to the engine's constructor (e.g. ``k``
     for the RLC index and ETC, ``time_budget`` for ETC); an option the
-    engine does not accept raises ``TypeError`` like any bad keyword.
-    Spec parameters (``"sharded:rlc?parts=4"``) override ``options``.
+    engine does not accept raises
+    :class:`~repro.errors.EngineOptionError` (a ``TypeError`` subclass
+    that names the spec).  Spec parameters (``"sharded:rlc?parts=4"``)
+    override ``options``.
     """
-    cls, merged = resolve_engine_spec(name, **options)
-    return cls(**merged).prepare(graph)
+    engine = instantiate_engine(name, **options)
+    engine.prepare(graph)
+    return engine
 
 
 def engine_names() -> Tuple[str, ...]:
     """All registered engine keys, sorted (aliases excluded)."""
     return tuple(sorted(_REGISTRY))
+
+
+def engine_capabilities(name: str) -> FrozenSet[str]:
+    """The capability flags the named engine class advertises.
+
+    Accepts a key, alias, or spec (a composite spec reports the
+    *outermost* engine's capabilities — ``sharded:bfs`` is sharded
+    whatever serves its shards).
+    """
+    return frozenset(get_engine_class(name).capabilities)
+
+
+def engines_with_capabilities(*capabilities: str) -> Tuple[str, ...]:
+    """Registry keys of the engines advertising every given capability.
+
+    The feature-based selection path: callers ask for what they need
+    (``engines_with_capabilities("witness", "batch-grouped")``) instead
+    of hard-coding names, so adding an engine never adds a branch.
+    Unknown capability tokens raise ``EngineError`` rather than
+    silently matching nothing.
+    """
+    from repro.engine.base import KNOWN_CAPABILITIES
+
+    wanted = frozenset(capabilities)
+    unknown = wanted - KNOWN_CAPABILITIES
+    if unknown:
+        raise EngineError(
+            f"unknown capabilities: {', '.join(sorted(unknown))}; known "
+            f"capabilities: {', '.join(sorted(KNOWN_CAPABILITIES))}"
+        )
+    return tuple(
+        key
+        for key in engine_names()
+        if wanted <= frozenset(_REGISTRY[key].capabilities)
+    )
 
 
 def available_engines() -> List[Tuple[str, str, str]]:

@@ -14,10 +14,10 @@ reachability indexing (FERRARI-style budgeted partitions, partitioned
 ``m``; the next label must be ``L[p]``; accepting = phase 0 after at
 least one label).  Any witness path splits at its cut-edge crossings
 into maximal shard-local segments, each of which carries the automaton
-from one phase to another.  The router therefore runs a **bounded BFS
-over the product graph** whose nodes are ``(hub vertex, phase)`` pairs
-— hubs are the cut-edge endpoints plus the query's own source — and
-whose edges are:
+from one phase to another.  The router therefore searches the
+**product graph** whose nodes are ``(hub vertex, phase)`` pairs — hubs
+are the cut-edge endpoints plus the query's own source — and whose
+edges are:
 
 - *cut-edge hops*: ``(u, p) -> (v, (p + 1) % m)`` for a recorded cut
   edge ``u --L[p]--> v`` (exact, O(1));
@@ -29,11 +29,27 @@ A shard-local segment of length ``z*m + r`` (``r = (p' - p) mod m``)
 spells ``rot_p(L)^z . rot_p(L)[:r]`` where ``rot_p(L)`` is the rotation
 of ``L`` starting at ``p`` — and rotations of a primitive word are
 primitive, so the ``z >= 1`` part is *itself an RLC query the shard's
-existing inner engine answers*.  The ``r``-label remainder is resolved
-by an exact backward walk of at most ``m - 1 <= k - 1`` steps.  The
-query is true iff the product BFS reaches ``(target, 0)`` over a
-non-empty word; the BFS is bounded by the product size,
-``(|boundary| + 1) * m`` nodes.
+existing inner engine answers*.  The rotation set is compiled once per
+constraint: :meth:`route_prepared` seeds the search from
+:attr:`~repro.engine.base.PreparedQuery.rotations` instead of
+re-deriving rotations per segment check.  The ``r``-label remainder is
+resolved by an exact backward walk of at most ``m - 1 <= k - 1``
+steps.  The query is true iff a non-empty word reaches ``(target,
+0)``; the search is bounded by the product size, ``(|boundary| + 1) *
+m`` nodes.
+
+**Per-constraint memoization.**  Hub-to-hub product structure depends
+only on the constraint, never on a query's endpoints, so the router
+memoizes — per constraint — the *adjacency* of each hub product state
+(which states one more shard-local segment plus one cut edge can
+reach; computing it is the expensive part, every edge a potential
+inner-engine sub-query).  A query pays the source-specific expansion
+and the target-specific acceptance checks; the hub-product walk in
+between runs over memoized adjacency — pure dict probes after the
+first query under a constraint — while keeping the BFS's early exit
+on acceptance.  Memo service is reported as ``memo_hits`` in the
+:data:`RouteResult` and surfaced as ``router_memo_hits`` next to
+``boundary_hops`` in the sharded engine's stats.
 
 The soundness argument is written out in prose, with a worked example,
 in ``docs/ARCHITECTURE.md``; the user-facing guide to partition
@@ -43,20 +59,30 @@ methods is ``docs/SHARDING.md``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.engine.base import EngineBase
+from repro.engine.base import EngineBase, PreparedQuery, constraint_rotations
 from repro.graph.partition import GraphPartition
 from repro.queries import RlcQuery
 
 __all__ = ["BoundaryRouter", "RouteResult"]
 
-#: ``(answer, boundary_hops, used_product_bfs)`` — what one routed
-#: query reports back to the composite engine's counters.
-RouteResult = Tuple[bool, int, bool]
+#: ``(answer, boundary_hops, used_product_bfs, memo_hits)`` — what one
+#: routed query reports back to the composite engine's counters.
+#: ``boundary_hops`` counts cut-edge traversals explored *fresh* this
+#: query; ``memo_hits`` counts hub product states served from the
+#: per-constraint closure/adjacency memo instead of being re-walked.
+RouteResult = Tuple[bool, int, bool, int]
+
+#: A product state: (global vertex, constraint phase).
+ProductState = Tuple[int, int]
 
 #: Memo tables are cleared past this many entries (crude but bounded).
 _CACHE_LIMIT = 1 << 16
+
+#: The outer per-constraint memo dicts are cleared past this many
+#: distinct constraints (each inner table is itself _CACHE_LIMIT-bounded).
+_CONSTRAINT_CACHE_LIMIT = 1 << 10
 
 
 class BoundaryRouter:
@@ -64,10 +90,11 @@ class BoundaryRouter:
 
     Owned by a prepared :class:`~repro.engine.ShardedEngine` whose
     partition is lossy; stateless with respect to queries apart from
-    two memo tables (segment endpoints and per-shard cycle answers)
-    that are keyed by constraint and therefore reusable across queries.
-    Inner engines are read-only after prepare, so concurrent routed
-    queries are safe — a memo race at worst recomputes an entry.
+    its memo tables (segment endpoints, per-shard cycle answers, and
+    the per-constraint hub-product adjacency/closure) that are keyed by
+    constraint and therefore reusable across queries.  Inner engines
+    are read-only after prepare, so concurrent routed queries are safe
+    — a memo race at worst recomputes an entry.
     """
 
     def __init__(
@@ -92,6 +119,12 @@ class BoundaryRouter:
         ] = {}
         # (shard, local_u, local_v, rotation) -> shard-local RLC answer.
         self._cycle_cache: Dict[Tuple[int, int, int, Tuple[int, ...]], bool] = {}
+        # Per constraint: hub product state -> (successor states, hops
+        # explored computing them).
+        self._adj_cache: Dict[
+            Tuple[int, ...],
+            Dict[ProductState, Tuple[Tuple[ProductState, ...], int]],
+        ] = {}
 
     @property
     def partition(self) -> GraphPartition:
@@ -112,78 +145,190 @@ class BoundaryRouter:
         paths through each shard's grouped ``query_batch`` (the cheap
         way) and seeds the results here, so a subsequent
         :meth:`route` call for a locally-False query starts its product
-        BFS without re-asking the inner engine.
+        search without re-asking the inner engine.
         """
         if len(self._cycle_cache) >= _CACHE_LIMIT:
             self._cycle_cache.clear()
         self._cycle_cache[(shard_index, local_u, local_v, rotation)] = bool(answer)
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
 
-    def route(self, source: int, target: int, labels: Tuple[int, ...]) -> RouteResult:
+    def route(
+        self,
+        source: int,
+        target: int,
+        labels: Tuple[int, ...],
+        *,
+        rotations: Optional[Tuple[Tuple[int, ...], ...]] = None,
+    ) -> RouteResult:
         """Answer a validated RLC query ``(source, target, labels+)``.
 
-        Returns ``(answer, hops, used_bfs)`` where ``hops`` counts the
-        cut-edge traversals the product BFS explored and ``used_bfs``
-        is False when a purely shard-local witness settled the query.
+        Returns ``(answer, hops, used_bfs, memo_hits)`` where ``hops``
+        counts the cut-edge traversals explored fresh, ``used_bfs`` is
+        False when a purely shard-local witness settled the query, and
+        ``memo_hits`` counts hub product states the per-constraint memo
+        served.  ``rotations``, when supplied (callers routing many
+        queries under one constraint derive it once), skips the
+        per-call rotation derivation; callers holding a
+        :class:`~repro.engine.base.PreparedQuery` use
+        :meth:`route_prepared` to reuse the compiled one.
         """
+        labels = tuple(labels)
+        if rotations is None:
+            rotations = constraint_rotations(labels)
+        return self._route(source, target, labels, rotations)
+
+    def route_prepared(
+        self, source: int, target: int, prepared: PreparedQuery
+    ) -> RouteResult:
+        """:meth:`route`, seeded from the prepared rotation set."""
+        return self._route(source, target, prepared.labels, prepared.rotations)
+
+    def _route(
+        self,
+        source: int,
+        target: int,
+        labels: Tuple[int, ...],
+        rotations: Tuple[Tuple[int, ...], ...],
+    ) -> RouteResult:
+        """The product search behind both entry points."""
         partition = self._partition
-        m = len(labels)
         source_shard = partition.shard_id(source)
         target_shard = partition.shard_id(target)
         # Fast path: a witness that never leaves the endpoints' shard.
         if source_shard == target_shard and self._cycle_query(
-            source_shard, source, target, labels
+            source_shard, source, target, rotations[0]
         ):
-            return True, 0, False
+            return True, 0, False, 0
+        # Source expansion: one shard-local segment to a boundary-out
+        # hub plus one cut edge.  Source-specific, so never memoized.
+        frontier, hops, direct_hit = self._expand(
+            (source, 0), labels, rotations, target=target
+        )
+        if direct_hit:
+            return True, hops, True, 0
+        # Dedup (two source-shard hubs may cut to one head): duplicates
+        # would re-run acceptance segment checks and count phantom memo
+        # hits for a state this very walk just recorded.
+        frontier = list(dict.fromkeys(frontier))
+        memo_hits = 0
 
-        hops = 0
-        start = (source, 0)
-        visited = {start}
-        queue = deque([start])
-        while queue:
-            u, p = queue.popleft()
+        def accepts(state: ProductState) -> bool:
+            # Acceptance: a final shard-local segment into (target, 0).
+            # Every reached state has crossed >= 1 cut edge, so the
+            # overall word is non-empty even when this segment is empty.
+            u, p = state
             shard_index = partition.shard_id(u)
-            # Accept: a final shard-local segment to (target, phase 0).
-            # The start node's only such segment is the fast path above
-            # (a non-empty purely-local witness), so it is skipped;
-            # every other node has crossed >= 1 cut edge, making the
-            # overall word non-empty even when this segment is empty.
-            if (
-                shard_index == target_shard
-                and (u, p) != start
-                and self._segment(shard_index, u, p, target, 0, labels)
-            ):
-                return True, hops, True
-            # Expand: shard-local segment to a boundary-out hub, then
-            # one cut edge whose label matches the reached phase.
-            shard = partition.shards[shard_index]
-            for hub in shard.boundary_out:
-                hub_out = self._cut_out.get(hub, ())
-                hub_labels = self._hub_labels.get(hub, frozenset())
-                for hub_phase in range(m):
-                    expected = labels[hub_phase]
-                    # Cheap gate first: a phase whose expected label no
-                    # cut edge carries cannot expand, so skip the
-                    # (potentially inner-engine-query) segment check.
-                    if expected not in hub_labels:
+            return shard_index == target_shard and self._segment(
+                shard_index, u, p, target, 0, labels, rotations
+            )
+
+        # Hub-product BFS with the old search's per-state early exit:
+        # acceptance is tested the moment a state is first reached.
+        # Every state past the frontier is a cut-edge head, so its
+        # adjacency depends only on the constraint and is served from
+        # (and recorded into) the per-constraint memo — on a warm
+        # constraint the walk is pure dict probes, no segment checks.
+        reached: set = set(frontier)
+        queue = deque(frontier)
+        for state in frontier:
+            if accepts(state):
+                return True, hops, True, memo_hits
+        while queue:
+            current = queue.popleft()
+            successors, adj_hops, adj_hits = self._adjacency(
+                current, labels, rotations
+            )
+            hops += adj_hops
+            memo_hits += adj_hits
+            for successor in successors:
+                if successor in reached:
+                    continue
+                reached.add(successor)
+                if accepts(successor):
+                    return True, hops, True, memo_hits
+                queue.append(successor)
+        return False, hops, True, memo_hits
+
+    # ------------------------------------------------------------------
+    # Product expansion and its per-constraint memo
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self,
+        state: ProductState,
+        labels: Tuple[int, ...],
+        rotations: Tuple[Tuple[int, ...], ...],
+        *,
+        target: Optional[int] = None,
+    ) -> Tuple[List[ProductState], int, bool]:
+        """One product step: segment to a boundary hub, then a cut edge.
+
+        Returns ``(successor states, hops explored, hit)`` where
+        ``hit`` is True when a cut edge landed exactly on ``(target,
+        phase 0)`` (checked only when ``target`` is given — the
+        source-expansion early exit).
+        """
+        u, p = state
+        m = len(labels)
+        partition = self._partition
+        shard_index = partition.shard_id(u)
+        shard = partition.shards[shard_index]
+        found: List[ProductState] = []
+        hops = 0
+        for hub in shard.boundary_out:
+            hub_out = self._cut_out.get(hub, ())
+            hub_labels = self._hub_labels.get(hub, frozenset())
+            for hub_phase in range(m):
+                expected = labels[hub_phase]
+                # Cheap gate first: a phase whose expected label no
+                # cut edge carries cannot expand, so skip the
+                # (potentially inner-engine-query) segment check.
+                if expected not in hub_labels:
+                    continue
+                if not self._segment(
+                    shard_index, u, p, hub, hub_phase, labels, rotations
+                ):
+                    continue
+                next_phase = (hub_phase + 1) % m
+                for label, head in hub_out:
+                    if label != expected:
                         continue
-                    if not self._segment(shard_index, u, p, hub, hub_phase, labels):
-                        continue
-                    next_phase = (hub_phase + 1) % m
-                    for label, head in hub_out:
-                        if label != expected:
-                            continue
-                        hops += 1
-                        if head == target and next_phase == 0:
-                            return True, hops, True
-                        state = (head, next_phase)
-                        if state not in visited:
-                            visited.add(state)
-                            queue.append(state)
-        return False, hops, True
+                    hops += 1
+                    if target is not None and head == target and next_phase == 0:
+                        return found, hops, True
+                    found.append((head, next_phase))
+        return found, hops, False
+
+    def _adjacency(
+        self,
+        state: ProductState,
+        labels: Tuple[int, ...],
+        rotations: Tuple[Tuple[int, ...], ...],
+    ) -> Tuple[Tuple[ProductState, ...], int, int]:
+        """Memoized successor states of a hub product state.
+
+        Returns ``(successors, hops, memo_hits)``; a memo hit costs no
+        hops — that walk happened once, under an earlier query with the
+        same constraint.
+        """
+        if len(self._adj_cache) >= _CONSTRAINT_CACHE_LIMIT:
+            # Bound the outer per-constraint table too, not just each
+            # inner per-state table — a stream of distinct constraints
+            # must not grow the router without limit.
+            self._adj_cache.clear()
+        table = self._adj_cache.setdefault(labels, {})
+        cached = table.get(state)
+        if cached is not None:
+            return cached[0], 0, 1
+        found, hops, _ = self._expand(state, labels, rotations)
+        entry = (tuple(dict.fromkeys(found)), hops)
+        if len(table) >= _CACHE_LIMIT:
+            table.clear()
+        table[state] = entry
+        return entry[0], hops, 0
 
     # ------------------------------------------------------------------
     # Shard-local segments
@@ -197,18 +342,20 @@ class BoundaryRouter:
         v: int,
         v_phase: int,
         labels: Tuple[int, ...],
+        rotations: Tuple[Tuple[int, ...], ...],
     ) -> bool:
         """Shard-local product edge ``(u, p) -> (v, v_phase)``.
 
         True iff some path inside the shard goes from ``u`` to ``v``
         consuming the cyclic label sequence from phase ``p`` to phase
         ``v_phase`` — including the empty path when ``u == v`` and the
-        phases agree.
+        phases agree.  ``rotations`` is the constraint's precompiled
+        rotation set (:func:`repro.engine.base.constraint_rotations`).
         """
         m = len(labels)
         if u == v and p == v_phase:
             return True
-        rotation = labels[p:] + labels[:p]
+        rotation = rotations[p]
         remainder = (v_phase - p) % m
         if remainder == 0:
             # Whole cycles only: exactly the shard-local RLC query

@@ -15,6 +15,17 @@ verifies answers against the ground truth that workload files carry in
     report = service.run(workload)     # fully cached now
     assert report.hit_rate == 1.0
 
+The service speaks the **prepared-query protocol** natively: each
+distinct constraint is compiled once through the engine's
+``prepare_query`` and memoized, and every cache layer — the LRU and
+the optional persistent ``store`` — is keyed on the prepared
+constraint's stable :attr:`~repro.engine.base.PreparedQuery.digest`
+rather than a raw label spelling, so equivalent spellings (lists,
+numpy ints) share one entry.  :meth:`query_outcome` returns the full
+:class:`~repro.engine.base.QueryOutcome` with the serving cache layer
+(``"lru"`` / ``"store"``) filled in; the bool-returning :meth:`query`
+is a shim over it.
+
 With ``workers > 1`` the uncached batches of a run execute on a thread
 pool.  This is safe because engines are read-only after ``prepare``
 (PR 1's contract) and :class:`~repro.engine.base.EngineBase` guards its
@@ -33,13 +44,20 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.base import EngineBase, EngineStats
-from repro.errors import EngineError
+from repro.engine.base import EngineBase, EngineStats, PreparedQuery, QueryOutcome
+from repro.errors import CapabilityError, EngineError, ReproError
 from repro.queries import RlcQuery
 
 __all__ = ["QueryService", "ServiceReport"]
 
-CacheKey = Tuple[int, int, Tuple[int, ...]]
+#: Result-cache key: ``(source, target, prepared-constraint digest)``.
+#: Engines outside the prepared protocol fall back to a ``raw:`` key
+#: derived from the literal label tuple.
+CacheKey = Tuple[int, int, str]
+
+#: Bound on the prepared-constraint memo (distinct constraints are few
+#: in practice; this only guards against adversarial workloads).
+_PREPARED_MEMO_LIMIT = 4096
 
 
 @dataclass
@@ -114,6 +132,7 @@ class QueryService:
     implementation is the on-disk
     :class:`repro.api.PersistentResultCache`, which is how a
     :class:`~repro.api.Session` keeps answers warm across processes.
+    Both layers key on ``(source, target, prepared digest)``.
     """
 
     def __init__(
@@ -137,6 +156,7 @@ class QueryService:
         self._workers = workers
         self._store = store
         self._cache: "OrderedDict[CacheKey, bool]" = OrderedDict()
+        self._prepared: Dict[Tuple, PreparedQuery] = {}
         self._hits = 0
         self._misses = 0
 
@@ -153,28 +173,129 @@ class QueryService:
         """The persistent backing store, or None."""
         return self._store
 
+    def prepare(self, labels) -> PreparedQuery:
+        """Compile a constraint once through the engine, memoized.
+
+        The service-level face of the prepared lifecycle: repeated
+        calls with the same (or equivalently spelled) constraint return
+        the same object, whose digest keys every cache layer.  Raises
+        ``EngineError`` for engines outside the prepared protocol.
+        """
+        prepared = self._prepared_for(labels)
+        if prepared is None:
+            raise EngineError(
+                f"engine {self._engine.name!r} does not implement "
+                "prepare_query(); it predates the prepared-query protocol"
+            )
+        return prepared
+
+    def _prepared_for(self, labels) -> Optional[PreparedQuery]:
+        """The memoized prepared constraint, or None (legacy engines)."""
+        key = tuple(labels)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            return prepared
+        prepare = getattr(self._engine, "prepare_query", None)
+        if prepare is None:
+            return None
+        prepared = prepare(key)
+        if len(self._prepared) >= _PREPARED_MEMO_LIMIT:
+            self._prepared.clear()
+        self._prepared[key] = prepared
+        if prepared.labels != key:
+            # Alias the normalized spelling (numpy ints, lists) too.
+            self._prepared[prepared.labels] = prepared
+        return prepared
+
+    def _key_of(
+        self, source: int, target: int, labels, prepared: Optional[PreparedQuery]
+    ) -> CacheKey:
+        if prepared is not None:
+            return (int(source), int(target), prepared.digest)
+        raw = ",".join(str(int(label)) for label in labels)
+        return (int(source), int(target), f"raw:{raw}")
+
     def peek(self, source: int, target: int, labels) -> Optional[bool]:
         """The cached answer for a query, or None — never runs the engine.
 
         Consults the LRU and the backing store (promoting a store hit
-        into the LRU) without counting a hit or a miss; used by
-        ``Session.explain`` to report whether an answer was cached.
+        into the LRU) without counting a hit or a miss — an external
+        read-only probe (``Session.explain`` now reads the cache layer
+        off its :class:`~repro.engine.base.QueryOutcome` instead).
+        A malformed constraint returns None rather than raising — an
+        invalid query is never cached, and a peek is a read-only
+        probe, so compiling the key (the only engine-side work peek
+        does) must not surface validation errors.
         """
-        query = RlcQuery(source, target, tuple(labels))
-        return self._cache_get((query.source, query.target, query.labels))
+        try:
+            prepared = self._prepared_for(labels)
+        except ReproError:
+            return None
+        answer, _ = self._cache_lookup(self._key_of(source, target, labels, prepared))
+        return answer
 
-    def query(self, source: int, target: int, labels) -> bool:
-        """Answer one query through the cache."""
-        query = RlcQuery(source, target, tuple(labels))
-        key = (query.source, query.target, query.labels)
-        cached = self._cache_get(key)
+    def query_outcome(
+        self, source: int, target: int, labels, *, witness: bool = False
+    ) -> QueryOutcome:
+        """Answer one query through the cache, with full provenance.
+
+        A fresh evaluation returns the engine's own
+        :class:`~repro.engine.base.QueryOutcome`; a cached answer is
+        wrapped in an outcome whose ``cache_layer`` names the serving
+        layer (``"lru"`` or ``"store"``).  ``witness=True`` attaches a
+        witness path either way; engines that cannot produce one —
+        no ``witness`` capability, or an engine outside the prepared
+        protocol entirely — raise ``CapabilityError`` rather than
+        silently omitting it.
+        """
+        prepared = self._prepared_for(labels)
+        if witness and prepared is None:
+            raise CapabilityError(
+                f"engine {self._engine.name!r} predates the prepared-query "
+                "protocol and cannot attach witness paths"
+            )
+        key = self._key_of(source, target, labels, prepared)
+        started = time.perf_counter()
+        cached, layer = self._cache_lookup(key)
         if cached is not None:
             self._hits += 1
-            return cached
+            path = None
+            if witness and prepared is not None:
+                path = self._engine.witness_path(
+                    prepared, int(source), int(target), answer=cached
+                )
+            return QueryOutcome(
+                answer=cached,
+                source=int(source),
+                target=int(target),
+                labels=prepared.labels if prepared is not None else tuple(labels),
+                engine=self._engine.name,
+                cache_layer=layer,
+                witness=path,
+                seconds=time.perf_counter() - started,
+            )
         self._misses += 1
-        answer = self._engine.query(query)
-        self._cache_put(key, answer)
-        return answer
+        if prepared is not None:
+            outcome = self._engine.query_prepared(
+                prepared, source, target, witness=witness
+            )
+        else:
+            query = RlcQuery(int(source), int(target), tuple(labels))
+            answer = bool(self._engine.query(query))
+            outcome = QueryOutcome(
+                answer=answer,
+                source=query.source,
+                target=query.target,
+                labels=query.labels,
+                engine=self._engine.name,
+                seconds=time.perf_counter() - started,
+            )
+        self._cache_put(key, outcome.answer)
+        return outcome
+
+    def query(self, source: int, target: int, labels) -> bool:
+        """Answer one query through the cache (bool shim over outcomes)."""
+        return self.query_outcome(source, target, labels).answer
 
     def run(
         self,
@@ -200,11 +321,18 @@ class QueryService:
         # execution, so every occurrence runs individually.
         pending_groups: List[List[int]] = []
         group_of: Dict[CacheKey, List[int]] = {}
+        key_of: List[Optional[CacheKey]] = [None] * len(batch)
         hits = misses = 0
         started = time.perf_counter()
         for position, query in enumerate(batch):
-            key = (query.source, query.target, query.labels)
-            cached = self._cache_get(key)
+            key = self._key_of(
+                query.source,
+                query.target,
+                query.labels,
+                self._prepared_for(query.labels),
+            )
+            key_of[position] = key
+            cached, _ = self._cache_lookup(key)
             if cached is not None:
                 answers[position] = cached
                 hits += 1
@@ -248,8 +376,7 @@ class QueryService:
                     f"{len(chunk_answers)} answers for {len(chunk)} queries"
                 )
             for positions, answer in zip(chunk, chunk_answers):
-                query = batch[positions[0]]
-                self._cache_put((query.source, query.target, query.labels), answer)
+                self._cache_put(key_of[positions[0]], answer)
                 for position in positions:
                     answers[position] = answer
         batches = len(chunks)
@@ -275,19 +402,22 @@ class QueryService:
     # Cache management
     # ------------------------------------------------------------------
 
-    def _cache_get(self, key: CacheKey) -> Optional[bool]:
+    def _cache_lookup(
+        self, key: CacheKey
+    ) -> Tuple[Optional[bool], Optional[str]]:
+        """``(answer, layer)`` — layer is ``"lru"``, ``"store"`` or None."""
         answer = self._cache.get(key)
         if answer is not None:
             self._cache.move_to_end(key)
-            return answer
+            return answer, "lru"
         if self._store is not None:
             answer = self._store.get(key)
             if answer is not None:
                 # Promote into the LRU so hot persistent entries stop
                 # paying the store lookup.
                 self._cache_put(key, answer)
-                return answer
-        return None
+                return answer, "store"
+        return None, None
 
     def _cache_put(self, key: CacheKey, answer: bool) -> None:
         if self._store is not None:
@@ -300,8 +430,15 @@ class QueryService:
             self._cache.popitem(last=False)
 
     def clear_cache(self) -> None:
-        """Drop all cached answers (e.g. after the graph changes)."""
+        """Drop all cached answers and the prepared-constraint memo.
+
+        The blunt reset for "something about the engine or its graph
+        changed": answers are discarded and every constraint is
+        re-prepared (and re-validated against the engine's current
+        label universe) on next use.
+        """
         self._cache.clear()
+        self._prepared.clear()
 
     @property
     def cache_len(self) -> int:
@@ -317,6 +454,9 @@ class QueryService:
             "cache_misses": self._misses,
             "hit_rate": self._hits / served if served else 0.0,
             "cache_len": len(self._cache),
+            "prepared_constraints": len(
+                {prepared.digest for prepared in self._prepared.values()}
+            ),
         }
         if self._store is not None:
             values["store_len"] = len(self._store)

@@ -45,6 +45,18 @@ class EngineError(ReproError):
     registrations, querying an engine before :meth:`prepare`)."""
 
 
+class EngineOptionError(EngineError, TypeError):
+    """Raised when an engine spec's options don't fit its constructor.
+
+    Subclasses :class:`TypeError` because that is what a misspelled
+    keyword raises on a direct constructor call — ``except TypeError``
+    sites keep working — while the message names the offending **spec
+    string** (``sharded:rlc?parts=x`` rather than a bare ``__init__()
+    got an unexpected keyword argument``), so a bad spec is
+    identifiable in a service log without a traceback.
+    """
+
+
 class SerializationError(ReproError):
     """Raised when loading a persisted graph or index fails."""
 

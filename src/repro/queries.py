@@ -25,7 +25,12 @@ from repro.graph.digraph import EdgeLabeledDigraph
 from repro.labels.minimum_repeat import is_primitive
 from repro.labels.sequences import format_constraint
 
-__all__ = ["RlcQuery", "group_queries_by_constraint", "validate_rlc_query"]
+__all__ = [
+    "RlcQuery",
+    "group_queries_by_constraint",
+    "validate_constraint_labels",
+    "validate_rlc_query",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,69 @@ class RlcQuery:
         return f"Q({self.source}, {self.target}, {self.constraint_text()})"
 
 
+def _describe_raw_constraint(raw_labels: Tuple) -> str:
+    """Best-effort rendering of a possibly-malformed constraint."""
+    return "(" + ", ".join(repr(label) for label in raw_labels) + ")+"
+
+
+def validate_constraint_labels(
+    graph: EdgeLabeledDigraph,
+    labels: Sequence[int],
+    *,
+    k: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Validate a constraint's labels alone, returning the label tuple.
+
+    The constraint half of :func:`validate_rlc_query` — everything that
+    depends only on the label sequence and the graph's label universe,
+    nothing on the endpoints.  This is what
+    :meth:`repro.engine.EngineBase.prepare_query` pays **once** per
+    prepared constraint; error messages name the offending label and
+    the constraint so a malformed workload entry is identifiable from
+    the message alone.
+
+    Raises:
+        QueryError: empty constraint, unknown labels.
+        NonPrimitiveConstraintError: ``L != MR(L)`` (out of scope per
+            Section III-B — it adds an even-path-style length constraint).
+        CapabilityError: ``|L| > k`` for the supplied index bound.
+    """
+    raw_labels = tuple(labels)
+    if not raw_labels:
+        raise QueryError("RLC constraint must contain at least one label")
+    normalized = []
+    for label in raw_labels:
+        # Accept any integral type (numpy-loaded workloads carry
+        # np.int64 labels) but reject bools, which are Integral too.
+        if isinstance(label, bool) or not isinstance(label, numbers.Integral):
+            raise QueryError(
+                f"unknown label id: {label!r} in constraint "
+                f"{_describe_raw_constraint(raw_labels)} is not an integer"
+            )
+        value = int(label)
+        if not 0 <= value < graph.num_labels:
+            raise QueryError(
+                f"unknown label id: {label!r} in constraint "
+                f"{_describe_raw_constraint(raw_labels)}; the graph has "
+                f"{graph.num_labels} labels (valid ids 0.."
+                f"{graph.num_labels - 1})"
+            )
+        normalized.append(value)
+    label_tuple = tuple(normalized)
+    if not is_primitive(label_tuple):
+        raise NonPrimitiveConstraintError(
+            f"constraint {format_constraint(label_tuple)} is not a minimum repeat; "
+            "RLC queries require L = MR(L)"
+        )
+    if k is not None and len(label_tuple) > k:
+        raise CapabilityError(
+            f"constraint {format_constraint(label_tuple)} has "
+            f"{len(label_tuple)} labels but the index was built with "
+            f"recursive k={k}"
+        )
+    return label_tuple
+
+
 def validate_rlc_query(
     graph: EdgeLabeledDigraph,
     source: int,
@@ -77,31 +145,7 @@ def validate_rlc_query(
         raise QueryError(f"unknown source vertex: {source}")
     if not graph.has_vertex(target):
         raise QueryError(f"unknown target vertex: {target}")
-    raw_labels = tuple(labels)
-    if not raw_labels:
-        raise QueryError("RLC constraint must contain at least one label")
-    normalized = []
-    for label in raw_labels:
-        # Accept any integral type (numpy-loaded workloads carry
-        # np.int64 labels) but reject bools, which are Integral too.
-        if isinstance(label, bool) or not isinstance(label, numbers.Integral):
-            raise QueryError(f"unknown label id: {label!r}")
-        value = int(label)
-        if not 0 <= value < graph.num_labels:
-            raise QueryError(f"unknown label id: {label!r}")
-        normalized.append(value)
-    label_tuple = tuple(normalized)
-    if not is_primitive(label_tuple):
-        raise NonPrimitiveConstraintError(
-            f"constraint {format_constraint(label_tuple)} is not a minimum repeat; "
-            "RLC queries require L = MR(L)"
-        )
-    if k is not None and len(label_tuple) > k:
-        raise CapabilityError(
-            f"constraint has {len(label_tuple)} labels but the index was built "
-            f"with recursive k={k}"
-        )
-    return label_tuple
+    return validate_constraint_labels(graph, labels, k=k)
 
 
 def group_queries_by_constraint(

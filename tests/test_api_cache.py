@@ -8,8 +8,14 @@ import os
 import pytest
 
 from repro.api import PersistentResultCache, Session, cache_file_name
+from repro.engine import PreparedQuery
 from repro.graph import generators
 from repro.workloads import generate_workload
+
+
+def digest_of(labels, num_labels=4):
+    """The constraint digest the cache layers key entries on."""
+    return PreparedQuery(labels, num_labels=num_labels).digest
 
 
 @pytest.fixture(scope="module")
@@ -46,7 +52,7 @@ class TestRoundTrip:
             graph_digest=graph.content_digest(),
             engine_spec="rlc-index",
         )
-        assert store.get((0, 1, (0,))) == answer
+        assert store.get((0, 1, digest_of((0,)))) == answer
 
     def test_point_queries_warm_after_flush(self, tmp_path, graph):
         first = Session(graph, cache_dir=tmp_path)
@@ -64,7 +70,7 @@ class TestInvalidation:
         store = PersistentResultCache(
             path, graph_digest="digest-a", engine_spec="rlc-index"
         )
-        store.put((0, 1, (0,)), True)
+        store.put((0, 1, digest_of((0,))), True)
         store.flush()
 
         stale = PersistentResultCache(
@@ -77,7 +83,7 @@ class TestInvalidation:
         store = PersistentResultCache(
             path, graph_digest="digest-a", engine_spec="rlc-index?k=2"
         )
-        store.put((0, 1, (0,)), False)
+        store.put((0, 1, digest_of((0,))), False)
         store.flush()
 
         stale = PersistentResultCache(
@@ -115,7 +121,10 @@ class TestCorruptionRecovery:
             "not json at all {",
             '["wrong", "shape"]',
             '{"format": 99, "entries": {}}',
+            # Format 1 (pre-digest label keys) is stale by definition.
             '{"format": 1, "graph_digest": "d", "engine_spec": "s", '
+            '"entries": {"0 1 0": true}}',
+            '{"format": 2, "graph_digest": "d", "engine_spec": "s", '
             '"entries": ["list"]}',
         ],
     )
@@ -138,27 +147,27 @@ class TestCorruptionRecovery:
         with Session(graph, cache_dir=tmp_path) as session:
             assert session.query(0, 1, (0,)) == expected
         payload = json.loads(path.read_text())
-        assert payload["format"] == 1 and payload["entries"]
+        assert payload["format"] == 2 and payload["entries"]
 
     def test_bad_entry_keys_and_values_are_skipped(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text(
             json.dumps(
                 {
-                    "format": 1,
+                    "format": 2,
                     "graph_digest": "d",
                     "engine_spec": "s",
                     "entries": {
-                        "0 1 0": True,
+                        "0 1 abcdef0123456789": True,
                         "not a key": True,
-                        "0 1 x,y": False,
-                        "0 1 0,1": "not-a-bool",
+                        "x y deadbeef": False,
+                        "0 1 cafebabe": "not-a-bool",
                     },
                 }
             )
         )
         store = PersistentResultCache(path, graph_digest="d", engine_spec="s")
-        assert store.keys() == ((0, 1, (0,)),)
+        assert store.keys() == ((0, 1, "abcdef0123456789"),)
 
 
 class TestFlushSemantics:

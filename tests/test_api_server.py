@@ -61,6 +61,7 @@ class TestHealthAndStats:
         assert body["digest"] == graph.content_digest()
         assert body["vertices"] == graph.num_vertices
         assert body["edges"] == graph.num_edges
+        assert "witness" in body["capabilities"]
 
     def test_stats_lists_prepared_engines(self, server):
         post(server, "/query", {"source": 0, "target": 1, "labels": [0]})
@@ -104,6 +105,38 @@ class TestQueryEndpoint:
         )
         assert status == 200
         assert body["engine"] == "bibfs"
+
+    def test_query_returns_structured_outcome(self, server):
+        status, body = post(
+            server, "/query", {"source": 0, "target": 1, "labels": [0]}
+        )
+        assert status == 200
+        assert body["engine"] == "rlc-index"
+        assert body["engine_id"] == "rlc-index"
+        assert body["cached"] is False and body["cache_layer"] is None
+        assert body["labels"] == [0] and body["seconds"] >= 0.0
+        status, body = post(
+            server, "/query", {"source": 0, "target": 1, "labels": [0]}
+        )
+        assert body["cached"] is True and body["cache_layer"] == "lru"
+
+    def test_query_witness_flag(self, server, graph, workload):
+        true_query = next(q for q in workload if q.expected)
+        status, body = post(
+            server,
+            "/query",
+            {
+                "source": true_query.source,
+                "target": true_query.target,
+                "labels": list(true_query.labels),
+                "witness": True,
+            },
+        )
+        assert status == 200 and body["answer"] is True
+        witness = body["witness"]
+        assert witness["vertices"][0] == true_query.source
+        assert witness["vertices"][-1] == true_query.target
+        assert len(witness["labels"]) % len(true_query.labels) == 0
 
     def test_explain_carries_witness(self, server, graph):
         query = next(
@@ -157,6 +190,38 @@ class TestQueryEndpoint:
         with pytest.raises(urllib.error.HTTPError) as caught:
             urllib.request.urlopen(request, timeout=10)
         assert caught.value.code == 400
+
+
+class TestPrepareEndpoint:
+    def test_prepare_returns_compiled_constraint(self, server, graph):
+        from repro.engine import PreparedQuery
+
+        status, body = post(server, "/prepare", {"labels": [0, 1]})
+        assert status == 200
+        assert body["labels"] == [0, 1]
+        assert body["m"] == 2
+        assert body["rotations"] == [[0, 1], [1, 0]]
+        assert body["engine"] == "rlc-index"
+        assert (
+            body["digest"]
+            == PreparedQuery((0, 1), num_labels=graph.num_labels).digest
+        )
+        assert "witness" in body["capabilities"]
+
+    def test_prepare_respects_engine_override(self, server):
+        status, body = post(
+            server, "/prepare", {"labels": [0], "engine": "bfs"}
+        )
+        assert status == 200
+        assert body["engine"] == "bfs" and body["engine_id"] == "bfs"
+
+    def test_prepare_rejects_bad_bodies(self, server):
+        status, body = post(server, "/prepare", {"labels": []})
+        assert status == 400 and "error" in body
+        status, body = post(server, "/prepare", {"labels": ["x"]})
+        assert status == 400 and "error" in body
+        status, body = post(server, "/prepare", {"labels": [99]})
+        assert status == 400 and "unknown label" in body["error"]
 
 
 class TestBatchEndpoint:

@@ -32,6 +32,21 @@ class TestShimsWarn:
             shimmed = getattr(repro, name)
         assert shimmed is getattr(repro.engine, name)
 
+    def test_each_name_warns_exactly_once_per_process(self):
+        # Self-contained (no reliance on sibling-test ordering): warm
+        # every name — the first-ever access per name warns, any prior
+        # access from other tests already consumed it — then assert a
+        # further access stays silent.  The shims are a migration aid,
+        # not a log-spam generator.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in DEPRECATED:
+                getattr(repro, name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in DEPRECATED:
+                assert getattr(repro, name) is not None
+
     def test_canonical_engine_imports_stay_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -71,6 +86,25 @@ class TestShimsStillAnswer:
             engine = repro.create_engine("rlc-index", graph, k=2)
             report = repro.QueryService(engine).run(workload)
         assert report.ok and report.total == 10
+
+    def test_shimmed_bool_paths_round_trip_through_query_prepared(self):
+        # The deprecated bool-returning entry points are shims over the
+        # prepared protocol: the answers they produce are exactly what
+        # prepare()/query_prepared() return underneath.
+        graph = paper_figure2()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = repro.create_engine("rlc-index", graph, k=2)
+            service = repro.QueryService(engine)
+        prepared = engine.prepare_query((1, 0))
+        for source in range(graph.num_vertices):
+            for target in range(graph.num_vertices):
+                outcome = engine.query_prepared(prepared, source, target)
+                assert service.query(source, target, (1, 0)) == outcome.answer
+                assert (
+                    engine.query(repro.RlcQuery(source, target, (1, 0)))
+                    == outcome.answer
+                )
 
     def test_shimmed_sharded_engine_matches_session(self):
         graph = paper_figure2()

@@ -116,12 +116,17 @@ class TestLossyEdgeCases:
         assert partition.cut_edges == 4
         engines = [BfsEngine().prepare(shard.subgraph) for shard in partition.shards]
         router = BoundaryRouter(partition, engines)
-        answer, hops, used_bfs = router.route(0, 4, (0, 1))
+        answer, hops, used_bfs, memo_hits = router.route(0, 4, (0, 1))
         assert answer is True and used_bfs and hops >= 4
-        answer, _, _ = router.route(0, 4, (1, 0))
+        assert memo_hits == 0  # nothing under this constraint was memoized yet
+        answer, _, _, _ = router.route(0, 4, (1, 0))
         assert answer is False
-        answer, _, _ = router.route(0, 3, (0, 1))  # odd phase at target
+        answer, _, _, _ = router.route(0, 3, (0, 1))  # odd phase at target
         assert answer is False
+        # A repeated query under an already-routed constraint is served
+        # from the per-constraint hub-product memo.
+        answer, hops, _, memo_hits = router.route(0, 4, (0, 1))
+        assert answer is True and memo_hits > 0
 
     def test_routing_respects_inner_capability_k(self):
         graph = single_wcc_graph(num_vertices=10, seed=3)

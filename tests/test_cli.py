@@ -119,6 +119,51 @@ class TestEngineCommands:
         out = capsys.readouterr().out
         assert "0 wrong answers" in out and "cache hit rate" in out
 
+    def test_engines_lists_capabilities(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "batch-grouped,witness" in out
+        assert "engines_with_capabilities" in out
+
+    def test_run_json_and_witness(self, fig2_file, tmp_path, capsys):
+        import json
+
+        workload_path = tmp_path / "w.txt"
+        index_path = tmp_path / "i.npz"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "4",
+              "--false-queries", "4", "-o", str(workload_path)])
+        main(["build", str(fig2_file), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main([
+            "run", str(index_path), str(workload_path),
+            "--json", "--witness", "--graph", str(fig2_file),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["total"] == 8
+        assert len(payload["witnesses"]) == 8
+        from repro.graph.io import load_graph
+
+        graph = load_graph(fig2_file)
+        for answer, witness in zip(payload["answers"], payload["witnesses"]):
+            assert (witness is not None) == answer
+            if witness is not None:
+                for u, label, v in zip(
+                    witness["vertices"], witness["labels"], witness["vertices"][1:]
+                ):
+                    assert graph.has_edge(u, label, v)
+
+    def test_run_witness_requires_graph(self, fig2_file, tmp_path, capsys):
+        workload_path = tmp_path / "w.txt"
+        index_path = tmp_path / "i.npz"
+        main(["workload", str(fig2_file), "-k", "2", "--true-queries", "2",
+              "--false-queries", "2", "-o", str(workload_path)])
+        main(["build", str(fig2_file), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main([
+            "run", str(index_path), str(workload_path), "--witness",
+        ]) == 2
+        assert "--graph" in capsys.readouterr().err
+
     @pytest.mark.parametrize("engine", ["rlc-index", "bibfs", "sys2"])
     def test_bench_any_registered_engine(self, engine, fig2_file, tmp_path, capsys):
         workload_path = tmp_path / "w.txt"

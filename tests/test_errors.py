@@ -40,7 +40,7 @@ class TestHierarchy:
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_symbols_resolvable(self):
         import warnings

@@ -40,6 +40,7 @@ SKIP_MODULES = {"repro.__main__"}
 # docstrings fail CI rather than silently producing empty doc entries.
 DOCSTRING_GUARDED = (
     "repro.graph.partition",
+    "repro.engine.base",
     "repro.engine.composite",
     "repro.engine.routing",
 )

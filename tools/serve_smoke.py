@@ -1,10 +1,11 @@
 """CI smoke test for ``repro serve``.
 
 Starts the replay server as a real subprocess (``python -m repro serve``)
-over a generated graph, waits for ``/healthz``, replays a verified
-workload through ``/query`` and ``/batch``, and asserts every HTTP
-answer matches the ``rlc-index`` engine queried directly in this
-process.  Run from the repository root::
+over a generated graph, waits for ``/healthz``, compiles a constraint
+through ``/prepare``, replays a verified workload through ``/query``
+and ``/batch``, and asserts every HTTP answer matches the
+``rlc-index`` engine queried directly in this process.  Run from the
+repository root::
 
     PYTHONPATH=src python tools/serve_smoke.py
 
@@ -101,6 +102,17 @@ def main() -> int:
             assert health["vertices"] == graph.num_vertices, health
             assert health["engine"] == "rlc-index", health
             print(f"healthz ok: {health['vertices']} vertices on {url}")
+
+            sample = next(iter(workload))
+            prepared = post(url + "/prepare", {"labels": list(sample.labels)})
+            local = engine.prepare_query(sample.labels)
+            assert prepared["digest"] == local.digest, prepared
+            assert prepared["labels"] == list(local.labels), prepared
+            assert "witness" in prepared["capabilities"], prepared
+            print(
+                f"/prepare ok: {prepared['constraint']} -> "
+                f"digest {prepared['digest']}"
+            )
 
             mismatches = 0
             for query in workload:
